@@ -1,0 +1,3 @@
+module d2t2
+
+go 1.22

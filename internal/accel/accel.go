@@ -1,0 +1,132 @@
+// Package accel models the evaluation machines: an Extensor-like push
+// memory accelerator (the architecture both Tailors and DRT were
+// evaluated against) and the Opal 16nm CGRA (§6.4). The model is the one
+// the paper's Figure 6a justifies empirically: sparse tensor algebra is
+// memory-bound, so runtime is the maximum of the memory time (traffic /
+// bandwidth) and the compute time (MACs / peak), plus a fixed per-tile
+// orchestration cost.
+package accel
+
+import (
+	"d2t2/internal/exec"
+	"d2t2/internal/tiling"
+)
+
+// Arch describes one accelerator configuration.
+type Arch struct {
+	Name string
+	// InputBufferWords is the per-operand tile buffer capacity in 4-byte
+	// words.
+	InputBufferWords int
+	// OutputBufferWords bounds the on-chip output tile (overflowing
+	// partials are streamed out, the non-standard modification of §6 the
+	// paper adds for D2T2's output tiles).
+	OutputBufferWords int
+	// BandwidthWordsPerCycle is the main-memory bandwidth seen by the
+	// tile engine.
+	BandwidthWordsPerCycle float64
+	// MACsPerCycle is the peak multiply throughput.
+	MACsPerCycle float64
+	// TileOverheadCycles is the fixed orchestration cost per tile
+	// iteration (descriptor fetch, drain, swap).
+	TileOverheadCycles float64
+	// FrequencyGHz converts cycles to seconds for absolute numbers.
+	FrequencyGHz float64
+}
+
+// Extensor returns the Extensor-derived configuration used by the
+// Tailors and DRT comparisons: a PE buffer holding a 128×128 dense CSF
+// tile, with bandwidth and compute matching the published architecture's
+// proportions (68.3 GB/s HBM per PE cluster, 128 MACs/cycle, 1 GHz).
+func Extensor() Arch {
+	return Arch{
+		Name:                   "extensor",
+		InputBufferWords:       tiling.DenseFootprintWords([]int{128, 128}),
+		OutputBufferWords:      tiling.DenseFootprintWords([]int{128, 128}),
+		BandwidthWordsPerCycle: 16, // 64 B/cycle = 64 GB/s at 1 GHz
+		MACsPerCycle:           128,
+		TileOverheadCycles:     64,
+		FrequencyGHz:           1.0,
+	}
+}
+
+// Opal returns the Opal CGRA configuration of §6.4: 2 KB memory tiles
+// supporting a conservative 32×32 matrix tile, a 1.75 MB global buffer,
+// and a modest streaming bandwidth — the regime where tiling quality
+// dominates end-to-end runtime.
+func Opal() Arch {
+	return Arch{
+		Name:                   "opal",
+		InputBufferWords:       tiling.DenseFootprintWords([]int{32, 32}),
+		OutputBufferWords:      tiling.DenseFootprintWords([]int{32, 32}),
+		BandwidthWordsPerCycle: 4,
+		MACsPerCycle:           16,
+		TileOverheadCycles:     128, // CGRA reconfiguration/drain is costlier
+		FrequencyGHz:           0.5,
+	}
+}
+
+// Cycles returns the modeled execution time in cycles for a measured
+// traffic profile: memory and compute overlap (max), tile orchestration
+// does not.
+func Cycles(t *exec.Traffic, a Arch) float64 {
+	mem := float64(t.Total()) / a.BandwidthWordsPerCycle
+	comp := float64(t.MACs) / a.MACsPerCycle
+	busy := mem
+	if comp > busy {
+		busy = comp
+	}
+	return busy + float64(t.TileIterations)*a.TileOverheadCycles
+}
+
+// Seconds converts a traffic profile to modeled wall-clock seconds.
+func Seconds(t *exec.Traffic, a Arch) float64 {
+	return Cycles(t, a) / (a.FrequencyGHz * 1e9)
+}
+
+// Speedup returns reference time / target time under the architecture:
+// how much faster `target` is than `reference`.
+func Speedup(reference, target *exec.Traffic, a Arch) float64 {
+	rt := Cycles(target, a)
+	if rt == 0 {
+		return 1
+	}
+	return Cycles(reference, a) / rt
+}
+
+// TrafficImprovement returns the paper's traffic metric:
+// (In_ref + Out_ref) / (In_trg + Out_trg).
+func TrafficImprovement(reference, target *exec.Traffic) float64 {
+	den := float64(target.Total())
+	if den == 0 {
+		return 1
+	}
+	return float64(reference.Total()) / den
+}
+
+// Roofline summarizes where an execution sits on the machine's roofline:
+// its arithmetic intensity (MACs per byte moved), the machine's ridge
+// point, and whether the run is memory- or compute-bound.
+type Roofline struct {
+	IntensityMACsPerByte float64
+	RidgeMACsPerByte     float64
+	MemoryBound          bool
+	// AchievableMACsPerCycle is the roof at this intensity.
+	AchievableMACsPerCycle float64
+}
+
+// RooflineOf analyzes a measured execution against a machine model.
+func RooflineOf(t *exec.Traffic, a Arch) Roofline {
+	bytes := float64(t.Total()) * 4
+	r := Roofline{RidgeMACsPerByte: a.MACsPerCycle / (a.BandwidthWordsPerCycle * 4)}
+	if bytes > 0 {
+		r.IntensityMACsPerByte = float64(t.MACs) / bytes
+	}
+	r.MemoryBound = r.IntensityMACsPerByte < r.RidgeMACsPerByte
+	if r.MemoryBound {
+		r.AchievableMACsPerCycle = r.IntensityMACsPerByte * a.BandwidthWordsPerCycle * 4
+	} else {
+		r.AchievableMACsPerCycle = a.MACsPerCycle
+	}
+	return r
+}

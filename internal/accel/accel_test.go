@@ -1,0 +1,126 @@
+package accel
+
+import (
+	"testing"
+
+	"d2t2/internal/exec"
+)
+
+func traffic(words, macs, iters int64) *exec.Traffic {
+	return &exec.Traffic{
+		Input:          map[string]int64{"A": words / 2, "B": words - words/2},
+		Output:         0,
+		MACs:           macs,
+		TileIterations: iters,
+	}
+}
+
+func TestCyclesMemoryBound(t *testing.T) {
+	a := Extensor()
+	tr := traffic(16000, 100, 0)
+	// Memory: 16000/16 = 1000 cycles; compute: 100/128 < 1.
+	if got := Cycles(tr, a); got != 1000 {
+		t.Fatalf("cycles = %v, want 1000", got)
+	}
+}
+
+func TestCyclesComputeBound(t *testing.T) {
+	a := Extensor()
+	tr := traffic(16, 128000, 0)
+	if got := Cycles(tr, a); got != 1000 {
+		t.Fatalf("cycles = %v, want 1000 (compute bound)", got)
+	}
+}
+
+func TestTileOverheadAdds(t *testing.T) {
+	a := Extensor()
+	tr := traffic(1600, 0, 10)
+	want := 100 + 10*a.TileOverheadCycles
+	if got := Cycles(tr, a); got != want {
+		t.Fatalf("cycles = %v, want %v", got, want)
+	}
+}
+
+func TestSpeedupAndTraffic(t *testing.T) {
+	a := Extensor()
+	slow := traffic(32000, 0, 0)
+	fast := traffic(16000, 0, 0)
+	if got := Speedup(slow, fast, a); got != 2 {
+		t.Fatalf("speedup = %v, want 2", got)
+	}
+	if got := TrafficImprovement(slow, fast); got != 2 {
+		t.Fatalf("traffic improvement = %v, want 2", got)
+	}
+	// Degenerate zero-traffic target.
+	if got := TrafficImprovement(slow, traffic(0, 0, 0)); got != 1 {
+		t.Fatalf("zero target improvement = %v", got)
+	}
+}
+
+func TestArchPresets(t *testing.T) {
+	ex, op := Extensor(), Opal()
+	// Extensor's buffer must hold a 128x128 dense CSF tile; Opal's a
+	// 32x32 (the 2 KB memory tile constraint of §6.4).
+	if ex.InputBufferWords < 2*128*128 {
+		t.Fatalf("extensor buffer too small: %d", ex.InputBufferWords)
+	}
+	if op.InputBufferWords < 2*32*32 || op.InputBufferWords > 4*32*32 {
+		t.Fatalf("opal buffer out of range: %d", op.InputBufferWords)
+	}
+	if ex.Name == op.Name {
+		t.Fatal("presets share a name")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	a := Extensor() // 1 GHz
+	tr := traffic(16000, 0, 0)
+	if got := Seconds(tr, a); got != 1000/1e9 {
+		t.Fatalf("seconds = %v", got)
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	m := DefaultEnergy()
+	trafficOnly := traffic(1000, 0, 0)
+	e1 := EnergyPJ(trafficOnly, m)
+	want := 1000 * (m.DRAMPerWord + 2*m.SRAMPerWord)
+	if e1 != want {
+		t.Fatalf("traffic energy = %v, want %v", e1, want)
+	}
+	// MACs add compute + SRAM operand energy.
+	withMACs := traffic(1000, 500, 0)
+	if EnergyPJ(withMACs, m) <= e1 {
+		t.Fatal("MAC energy missing")
+	}
+	// DRAM dominates: halving traffic nearly halves energy for
+	// memory-bound profiles.
+	half := traffic(500, 0, 0)
+	imp := EnergyImprovement(trafficOnly, half, m)
+	if imp < 1.99 || imp > 2.01 {
+		t.Fatalf("energy improvement = %v, want ~2", imp)
+	}
+	if EnergyImprovement(trafficOnly, traffic(0, 0, 0), m) != 1 {
+		t.Fatal("zero-target improvement should be 1")
+	}
+}
+
+func TestRoofline(t *testing.T) {
+	a := Extensor() // ridge = 128 / 64 B = 2 MACs/byte
+	memBound := traffic(100000, 1000, 0)
+	r := RooflineOf(memBound, a)
+	if !r.MemoryBound {
+		t.Fatalf("low-intensity run not memory bound: %+v", r)
+	}
+	if r.RidgeMACsPerByte != 2 {
+		t.Fatalf("ridge = %v, want 2", r.RidgeMACsPerByte)
+	}
+	compBound := traffic(100, 1000000, 0)
+	r2 := RooflineOf(compBound, a)
+	if r2.MemoryBound {
+		t.Fatalf("high-intensity run memory bound: %+v", r2)
+	}
+	if r2.AchievableMACsPerCycle != a.MACsPerCycle {
+		t.Fatalf("compute roof = %v", r2.AchievableMACsPerCycle)
+	}
+}

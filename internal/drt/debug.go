@@ -1,0 +1,11 @@
+package drt
+
+// DebugCounters is set by tests to observe aggregation decisions.
+var DebugCounters *Counters
+
+// Counters records aggregation shape statistics.
+type Counters struct {
+	Groups, Spans int
+	SpanK         int // total k micro-tiles covered by spans
+	GroupRows     int
+}

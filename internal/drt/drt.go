@@ -1,0 +1,277 @@
+// Package drt simulates Dynamic Reflexive Tiling (Odemuyiwa et al.,
+// ASPLOS 2023) for the SpMSpM-ikj (Gustavson) dataflow: hardware that
+// walks conservatively-tiled micro-tiles and greedily aggregates adjacent
+// tiles into larger dynamic tiles that maximize buffer occupancy, while
+// keeping the shared (k) dimension span identical for both operands —
+// the "reflexive" constraint.
+//
+// The greedy aggregation modeled here (documented in DESIGN.md §3):
+//
+//  1. Rows of A-tiles are grouped: consecutive i' rows join a row group
+//     while the group's largest prospective aggregate still fits.
+//  2. Within a row group, k' tiles aggregate left-to-right while (a) the
+//     A aggregate (row group × k-span) fits the A buffer and (b) every
+//     B column aggregate over the k-span fits the B buffer.
+//  3. Each aggregate is fetched once; B column aggregates are fetched
+//     once per row group; partial outputs are produced per
+//     (row group, k-span, j') with on-chip reduction over the span.
+//
+// This captures DRT's two wins over static square tiles — fewer B
+// re-fetches (row grouping) and fewer, larger output partials (k-span
+// reduction) — with a purely local view of the data, which is exactly
+// the limitation the paper exploits (§6.2: "DRT's tile aggregation
+// hardware only has a local view of the matrix data").
+package drt
+
+import (
+	"fmt"
+	"sort"
+
+	"d2t2/internal/exec"
+	"d2t2/internal/tiling"
+)
+
+// Options configures the simulator.
+type Options struct {
+	// BufferWords is the per-operand buffer capacity.
+	BufferWords int
+	// ValuesOnly switches traffic accounting to nonzeros only.
+	ValuesOnly bool
+}
+
+// Simulate runs DRT-style dynamic tiling for C = A×B (Gustavson) over
+// base-tiled operands. A must be tiled row-major (i,k) and B row-major
+// (k,j) with identical square base tiles.
+func Simulate(a, b *tiling.TiledTensor, opts Options) (*exec.Traffic, error) {
+	if opts.BufferWords <= 0 {
+		return nil, fmt.Errorf("drt: BufferWords must be positive")
+	}
+	if len(a.Dims) != 2 || len(b.Dims) != 2 {
+		return nil, fmt.Errorf("drt: Simulate requires matrices")
+	}
+	if a.TileDims[1] != b.TileDims[0] {
+		return nil, fmt.Errorf("drt: shared-dimension tile mismatch %d vs %d", a.TileDims[1], b.TileDims[0])
+	}
+
+	tr := &exec.Traffic{Input: make(map[string]int64)}
+
+	// Index A tiles by row, B tiles by (k,j).
+	aRows := make(map[int][]*tiling.Tile)
+	for _, t := range a.Tiles {
+		aRows[t.Outer[0]] = append(aRows[t.Outer[0]], t)
+	}
+	for _, row := range aRows {
+		sort.Slice(row, func(x, y int) bool { return row[x].Outer[1] < row[y].Outer[1] })
+	}
+	bByK := make(map[int][]*tiling.Tile) // k' -> tiles sorted by j'
+	for _, t := range b.Tiles {
+		bByK[t.Outer[0]] = append(bByK[t.Outer[0]], t)
+	}
+	for _, row := range bByK {
+		sort.Slice(row, func(x, y int) bool { return row[x].Outer[1] < row[y].Outer[1] })
+	}
+
+	// mergedCost estimates the footprint of an aggregated tile: the
+	// hardware merges member tiles into one structure with shared
+	// metadata, so the cost is that of a single CSF over the union —
+	// values + leaf coordinates + root fibers — rather than the sum of
+	// member footprints.
+	mergedCost := func(nnz, fibers, rowExtent int) int {
+		if opts.ValuesOnly {
+			return nnz
+		}
+		if fibers > nnz {
+			fibers = nnz
+		}
+		if fibers > rowExtent {
+			fibers = rowExtent
+		}
+		return 2*nnz + 2*fibers + 3
+	}
+
+	rowIDs := make([]int, 0, len(aRows))
+	for i := range aRows {
+		rowIDs = append(rowIDs, i)
+	}
+	sort.Ints(rowIDs)
+
+	// Group consecutive occupied rows. A group is feasible while its
+	// narrowest processable aggregate — a single k' column across the
+	// group's rows — still fits the buffer after merging (the group is
+	// then processed span by span, so the whole row panel never needs to
+	// be resident at once). This is what lets the dynamic scheme build
+	// tall aggregates that slash B re-fetches.
+	var groups [][]int
+	var cur []int
+	colNNZ := make(map[int]int) // k' -> group nnz in that column
+	colFib := make(map[int]int) // k' -> summed root fibers
+	for _, i := range rowIDs {
+		feasible := true
+		for _, t := range aRows[i] {
+			extent := (len(cur) + 1) * a.TileDims[0]
+			k := t.Outer[1]
+			if mergedCost(colNNZ[k]+t.NNZ(), colFib[k]+t.CSF.FiberCount(0), extent) > opts.BufferWords {
+				feasible = false
+				break
+			}
+		}
+		if len(cur) > 0 && !feasible {
+			groups = append(groups, cur)
+			cur = nil
+			clear(colNNZ)
+			clear(colFib)
+		}
+		cur = append(cur, i)
+		for _, t := range aRows[i] {
+			colNNZ[t.Outer[1]] += t.NNZ()
+			colFib[t.Outer[1]] += t.CSF.FiberCount(0)
+		}
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+
+	if DebugCounters != nil {
+		DebugCounters.Groups += len(groups)
+		for _, g := range groups {
+			DebugCounters.GroupRows += len(g)
+		}
+	}
+	for _, group := range groups {
+		// Occupied k' columns for this group, in order.
+		kSet := make(map[int][]*tiling.Tile) // k' -> A tiles of the group
+		for _, i := range group {
+			for _, t := range aRows[i] {
+				kSet[t.Outer[1]] = append(kSet[t.Outer[1]], t)
+			}
+		}
+		ks := make([]int, 0, len(kSet))
+		for k := range kSet {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+
+		// Greedy k-span aggregation under both buffer constraints, using
+		// merged-structure footprints.
+		rowExtent := len(group) * a.TileDims[0]
+		for lo := 0; lo < len(ks); {
+			hi := lo
+			aNNZ, aFib := 0, 0
+			bColNNZ := make(map[int]int)
+			bColFib := make(map[int]int)
+			for hi < len(ks) {
+				k := ks[hi]
+				add, addFib := 0, 0
+				for _, t := range kSet[k] {
+					add += t.NNZ()
+					addFib += t.CSF.FiberCount(0)
+				}
+				spanExtent := (hi - lo + 1) * b.TileDims[0]
+				ok := mergedCost(aNNZ+add, aFib+addFib, rowExtent) <= opts.BufferWords
+				if ok {
+					for _, t := range bByK[k] {
+						j := t.Outer[1]
+						if mergedCost(bColNNZ[j]+t.NNZ(), bColFib[j]+t.CSF.FiberCount(0), spanExtent) > opts.BufferWords {
+							ok = false
+							break
+						}
+					}
+				}
+				if !ok && hi > lo {
+					break
+				}
+				// Always take at least one k (a single base tile fits by
+				// construction of the conservative base tiling).
+				aNNZ += add
+				aFib += addFib
+				for _, t := range bByK[k] {
+					bColNNZ[t.Outer[1]] += t.NNZ()
+					bColFib[t.Outer[1]] += t.CSF.FiberCount(0)
+				}
+				hi++
+				if !ok {
+					break
+				}
+			}
+			span := ks[lo:hi]
+			spanExtent := len(span) * b.TileDims[0]
+			if DebugCounters != nil {
+				DebugCounters.Spans++
+				DebugCounters.SpanK += len(span)
+			}
+
+			// Fetch the A aggregate once.
+			tr.Input["A"] += int64(mergedCost(aNNZ, aFib, rowExtent))
+			// Fetch each occupied B column aggregate once; join for the
+			// output partial.
+			colIDs := make([]int, 0, len(bColNNZ))
+			for j := range bColNNZ {
+				colIDs = append(colIDs, j)
+			}
+			sort.Ints(colIDs)
+			for _, j := range colIDs {
+				tr.Input["B"] += int64(mergedCost(bColNNZ[j], bColFib[j], spanExtent))
+				tr.TileIterations++
+				outNNZ, outRows, macs := joinAggregate(a, b, group, span, j)
+				tr.MACs += macs
+				if outNNZ > 0 {
+					tr.OutputWrites++
+					tr.OutputNNZ += outNNZ
+					if opts.ValuesOnly {
+						tr.Output += outNNZ
+					} else {
+						// CSF footprint: values + leaf coordinates + the
+						// exact count of occupied output rows.
+						tr.Output += 2*outNNZ + 2*outRows + 3
+					}
+				}
+			}
+			lo = hi
+		}
+	}
+	return tr, nil
+}
+
+// joinAggregate multiplies the aggregated A tile (rows of group, k-span)
+// with the aggregated B column j, returning distinct output coordinates
+// and multiply count.
+func joinAggregate(a, b *tiling.TiledTensor, group []int, span []int, j int) (int64, int64, int64) {
+	// Collect B rows of the span: k (global inner) -> columns.
+	bRows := make(map[int][]int32)
+	for _, k := range span {
+		t := b.Lookup(k, j)
+		if t == nil {
+			continue
+		}
+		coo := t.CSF.ToCOO()
+		for p := 0; p < coo.NNZ(); p++ {
+			gk := k*b.TileDims[0] + coo.Crds[0][p]
+			bRows[gk] = append(bRows[gk], int32(coo.Crds[1][p]))
+		}
+	}
+	var macs int64
+	out := make(map[int64]bool)
+	rows := make(map[int64]bool)
+	for _, i := range group {
+		for _, k := range span {
+			t := a.Lookup(i, k)
+			if t == nil {
+				continue
+			}
+			coo := t.CSF.ToCOO()
+			for p := 0; p < coo.NNZ(); p++ {
+				gk := k*a.TileDims[1] + coo.Crds[1][p]
+				cols := bRows[gk]
+				macs += int64(len(cols))
+				gi := int64(i*a.TileDims[0] + coo.Crds[0][p])
+				if len(cols) > 0 {
+					rows[gi] = true
+				}
+				for _, c := range cols {
+					out[gi<<32|int64(c)] = true
+				}
+			}
+		}
+	}
+	return int64(len(out)), int64(len(rows)), macs
+}

@@ -1,0 +1,39 @@
+package einsum
+
+import "testing"
+
+// FuzzParse exercises the TIN parser for panics and for consistency: any
+// accepted statement must validate, stringify, and re-parse to the same
+// normal form.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"C(i,j) = A(i,k) * B(k,j) | order: i,k,j",
+		"D(i,j) = (A(i) + B(i)) * C(i,j) | order: i,j",
+		"X(i,j,k) = C(i,j,l) * B(k,l)",
+		"E(i) = A(i) + B(i) + C(i) | order: i",
+		"Z(a) = (P(a,b) + Q(a)) * (R(a) + S(a)) | order: a,b",
+		"C(i,j =",
+		"= A(i)",
+		"C(i,j) = A(i,k) ** B(k,j)",
+		"C() = A()",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		e, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if err := e.Validate(); err != nil {
+			t.Fatalf("accepted statement fails validation: %q: %v", s, err)
+		}
+		e2, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("stringified statement does not re-parse: %q -> %q: %v", s, e.String(), err)
+		}
+		if len(e.Products()) != len(e2.Products()) {
+			t.Fatalf("round trip changed product count: %q", s)
+		}
+	})
+}

@@ -1,0 +1,35 @@
+package einsum
+
+// The benchmark kernels of the paper's Table 3, as ready-made expressions.
+
+// SpMSpMIKJ is Gustavson's algorithm: C(i,j) = Σ_k A(i,k)·B(k,j) with
+// dataflow order i→k→j. A is row-major; B is row-major over k.
+func SpMSpMIKJ() *Expr {
+	return MustParse("C(i,j) = A(i,k) * B(k,j) | order: i,k,j")
+}
+
+// SpMSpMIJK is the inner-product dataflow: order i→j→k. B is stored (j,k)
+// so the kernel computes A·Bᵀ when B holds the transposed operand — this
+// matches the paper's A×Aᵀ usage where both operands are row-major.
+func SpMSpMIJK() *Expr {
+	return MustParse("C(i,j) = A(i,k) * B(j,k) | order: i,j,k")
+}
+
+// TTM is the tensor-times-matrix kernel of Table 3:
+// X(i,j,k) = Σ_l C(i,j,l)·B(k,l), order i→j→l→k.
+func TTM() *Expr {
+	return MustParse("X(i,j,k) = C(i,j,l) * B(k,l) | order: i,j,l,k")
+}
+
+// MTTKRP3 is the matricized tensor times Khatri-Rao product of Table 3:
+// D(i,j) = Σ_{k,l} A(i,k,l)·B(j,k)·C(j,l), order i→k→l→j.
+func MTTKRP3() *Expr {
+	return MustParse("D(i,j) = A(i,k,l) * B(j,k) * C(j,l) | order: i,k,l,j")
+}
+
+// SDDMM is the sampled matrix-matrix product, a common sparse ML kernel:
+// E(i,j) = Σ_k S(i,j)·A(i,k)·B(k,j) with the sampling mask S fused into
+// the contraction. Order i→j→k keeps the mask stationary per (i,j).
+func SDDMM() *Expr {
+	return MustParse("E(i,j) = S(i,j) * A(i,k) * B(k,j) | order: i,j,k")
+}

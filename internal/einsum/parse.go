@@ -1,0 +1,202 @@
+package einsum
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a TIN statement of the form
+//
+//	Out(i,j) = <expr> | order: i,k,j
+//
+// where <expr> is built from tensor accesses Name(i,...), '+', '*' and
+// parentheses ('*' binds tighter than '+'). The "| order:" clause is
+// optional; if omitted, the order is the output indices followed by the
+// contracted indices in order of appearance.
+func Parse(s string) (*Expr, error) {
+	stmt, orderPart, hasOrder := strings.Cut(s, "|")
+	lhs, rhs, ok := strings.Cut(stmt, "=")
+	if !ok {
+		return nil, fmt.Errorf("einsum: missing '=' in %q", s)
+	}
+	out, rest, err := parseRef(strings.TrimSpace(lhs))
+	if err != nil {
+		return nil, fmt.Errorf("einsum: bad output access: %w", err)
+	}
+	if strings.TrimSpace(rest) != "" {
+		return nil, fmt.Errorf("einsum: trailing input after output access: %q", rest)
+	}
+
+	p := &parser{input: rhs}
+	node, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.input) {
+		return nil, fmt.Errorf("einsum: trailing input at %q", p.input[p.pos:])
+	}
+
+	e := &Expr{Out: out, RHS: node}
+	if hasOrder {
+		op := strings.TrimSpace(orderPart)
+		op = strings.TrimPrefix(op, "order:")
+		for _, ix := range strings.Split(op, ",") {
+			ix = strings.TrimSpace(ix)
+			if ix == "" {
+				return nil, fmt.Errorf("einsum: empty index in order clause")
+			}
+			e.Order = append(e.Order, ix)
+		}
+	} else {
+		e.Order = append(e.Order, e.Out.Indices...)
+		e.Order = append(e.Order, e.Contracted()...)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixed kernels.
+func MustParse(s string) *Expr {
+	e, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) && unicode.IsSpace(rune(p.input[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.input) {
+		return p.input[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) parseAdd() (Node, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != '+' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = Add{left, right}
+	}
+}
+
+func (p *parser) parseMul() (Node, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != '*' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = Mul{left, right}
+	}
+}
+
+func (p *parser) parseFactor() (Node, error) {
+	p.skipSpace()
+	if p.peek() == '(' {
+		p.pos++
+		inner, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("einsum: missing ')' at %q", p.input[p.pos:])
+		}
+		p.pos++
+		return inner, nil
+	}
+	ref, rest, err := parseRef(p.input[p.pos:])
+	if err != nil {
+		return nil, err
+	}
+	p.pos = len(p.input) - len(rest)
+	return ref, nil
+}
+
+// parseRef parses Name(i,j,...) from the front of s, returning the
+// remainder.
+func parseRef(s string) (Ref, string, error) {
+	i := 0
+	for i < len(s) && unicode.IsSpace(rune(s[i])) {
+		i++
+	}
+	start := i
+	for i < len(s) && (isIdent(s[i])) {
+		i++
+	}
+	if start == i {
+		return Ref{}, s, fmt.Errorf("expected tensor name at %q", s)
+	}
+	name := s[start:i]
+	if i >= len(s) || s[i] != '(' {
+		return Ref{}, s, fmt.Errorf("expected '(' after tensor name %q", name)
+	}
+	i++
+	var indices []string
+	for {
+		for i < len(s) && unicode.IsSpace(rune(s[i])) {
+			i++
+		}
+		st := i
+		for i < len(s) && isIdent(s[i]) {
+			i++
+		}
+		if st == i {
+			return Ref{}, s, fmt.Errorf("expected index variable in %q", name)
+		}
+		indices = append(indices, s[st:i])
+		for i < len(s) && unicode.IsSpace(rune(s[i])) {
+			i++
+		}
+		if i >= len(s) {
+			return Ref{}, s, fmt.Errorf("unterminated access for %q", name)
+		}
+		if s[i] == ',' {
+			i++
+			continue
+		}
+		if s[i] == ')' {
+			i++
+			return Ref{Name: name, Indices: indices}, s[i:], nil
+		}
+		return Ref{}, s, fmt.Errorf("unexpected %q in access for %q", s[i], name)
+	}
+}
+
+func isIdent(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}

@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quick returns the fast suite used throughout these tests.
+func quick() *Suite { return QuickSuite() }
+
+func cell(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tbl.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, tbl.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestFig3c(t *testing.T) {
+	tbl, err := Fig3c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	consTotal := cell(t, tbl, 0, 4)
+	d2t2Total := cell(t, tbl, 1, 4)
+	if d2t2Total >= consTotal {
+		t.Fatalf("D2T2 total %v not below conservative %v", d2t2Total, consTotal)
+	}
+	consIters := cell(t, tbl, 0, 5)
+	d2t2Iters := cell(t, tbl, 1, 5)
+	if d2t2Iters >= consIters {
+		t.Fatalf("D2T2 iterations %v not below conservative %v", d2t2Iters, consIters)
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	s := quick()
+	s.Labels = []string{"A", "Q"}
+	tbl, err := Fig5(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2*3 {
+		t.Fatalf("rows = %d, want 6 (2 matrices x 3 cases)", len(tbl.Rows))
+	}
+	// The uncorrelated A×R case must have modest mean error (paper:
+	// 2.9-9.7%; we allow 40% at quick scale).
+	for _, row := range tbl.Rows {
+		if row[1] == "AxR" {
+			e, _ := strconv.ParseFloat(row[2], 64)
+			if e > 40 {
+				t.Fatalf("AxR mean error %v%% too high: %v", e, row)
+			}
+		}
+	}
+}
+
+func TestFig6aQuick(t *testing.T) {
+	s := quick()
+	s.Labels = []string{"A", "I"}
+	tbl, err := Fig6a(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Correlation note present.
+	if len(tbl.Notes) == 0 || !strings.Contains(tbl.Notes[0], "Pearson") {
+		t.Fatalf("missing correlation note: %v", tbl.Notes)
+	}
+}
+
+func TestFig6bQuick(t *testing.T) {
+	s := quick()
+	s.Labels = []string{"A", "I"}
+	tbl, err := Fig6b(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tbl.Rows {
+		d2 := cell(t, tbl, r, 1)
+		tl := cell(t, tbl, r, 2)
+		if d2 <= 0 || tl <= 0 {
+			t.Fatalf("non-positive speedups: %v", tbl.Rows[r])
+		}
+	}
+}
+
+func TestFig6cQuick(t *testing.T) {
+	s := quick()
+	s.Labels = []string{"A", "I"}
+	tbl, err := Fig6c(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tbl.Rows {
+		d2 := cell(t, tbl, r, 1)
+		cons := cell(t, tbl, r, 3)
+		if d2 <= 0 {
+			t.Fatalf("bad D2T2 improvement: %v", tbl.Rows[r])
+		}
+		// Conservative is never better than Prescient (bigger fitting
+		// square): improvement over Prescient <= ~1.
+		if cons > 1.1 {
+			t.Fatalf("conservative beats prescient: %v", tbl.Rows[r])
+		}
+	}
+}
+
+func TestTable4Quick(t *testing.T) {
+	s := &Suite{Scale: 24, TileSide: 32}
+	tbl, err := Table4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 tensors", len(tbl.Rows))
+	}
+	for r := range tbl.Rows {
+		ttm := cell(t, tbl, r, 2)
+		mt := cell(t, tbl, r, 3)
+		if ttm <= 0 || mt <= 0 {
+			t.Fatalf("non-positive improvement: %v", tbl.Rows[r])
+		}
+	}
+}
+
+func TestTable5(t *testing.T) {
+	tbl, err := Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 Opal matrices", len(tbl.Rows))
+	}
+	atLeastOne := false
+	for r := range tbl.Rows {
+		sp := cell(t, tbl, r, 3)
+		if sp < 0.8 {
+			t.Fatalf("D2T2 much slower than prescient on %v", tbl.Rows[r])
+		}
+		if sp > 1.2 {
+			atLeastOne = true
+		}
+	}
+	if !atLeastOne {
+		t.Fatal("no Opal matrix sped up (paper: 1.23-3.34x)")
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	s := quick()
+	s.Labels = []string{"A", "E"}
+	tbl, err := Fig7(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	s := quick()
+	s.Labels = []string{"A", "Q"}
+	tbl, err := Fig8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid (A) has high shift correlation; uniform p2p (Q) low.
+	var sumA, sumQ float64
+	for _, row := range tbl.Rows {
+		v, _ := strconv.ParseFloat(row[1], 64)
+		switch row[0] {
+		case "A":
+			sumA = v
+		case "Q":
+			sumQ = v
+		}
+	}
+	if sumA <= sumQ {
+		t.Fatalf("grid corr sum %v not above uniform %v", sumA, sumQ)
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	s := quick()
+	s.Labels = []string{"A", "Q"}
+	tbl, err := Fig9(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tbl.Rows {
+		if v := cell(t, tbl, r, 1); v <= 0 {
+			t.Fatalf("bad ratio: %v", tbl.Rows[r])
+		}
+	}
+}
+
+func TestSec66Quick(t *testing.T) {
+	s := quick()
+	s.Labels = []string{"E"}
+	tbl, err := Sec66(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TrafficShare is exhaustive/D2T2 traffic: exhaustive can only be
+	// equal or better (<= 100% + rounding).
+	if v := cell(t, tbl, 0, 3); v > 101 {
+		t.Fatalf("exhaustive worse than D2T2: %v", tbl.Rows[0])
+	}
+}
+
+func TestSec67Quick(t *testing.T) {
+	s := quick()
+	s.Labels = []string{"A", "Q"}
+	tbl, err := Sec67(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tbl.Rows {
+		big := cell(t, tbl, r, 1)
+		small := cell(t, tbl, r, 2)
+		if big <= 0 || small <= 0 {
+			t.Fatalf("bad packed ratios: %v", tbl.Rows[r])
+		}
+	}
+}
+
+func TestAllRegistry(t *testing.T) {
+	exps := All()
+	if len(exps) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := ByID("fig6b"); !ok {
+		t.Fatal("ByID failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "t", Headers: []string{"A", "B"}}
+	tbl.Append("hello", 3.14159)
+	tbl.Notes = append(tbl.Notes, "note text")
+	out := tbl.Format()
+	for _, want := range []string{"== x: t ==", "hello", "3.14", "note: note text"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExtRefineQuick(t *testing.T) {
+	s := quick()
+	s.Labels = []string{"I"}
+	tbl, err := ExtRefine(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := cell(t, tbl, 0, 1); v <= 0 {
+		t.Fatalf("bad ratio: %v", tbl.Rows[0])
+	}
+}
+
+func TestSuiteHelpers(t *testing.T) {
+	s := DefaultSuite()
+	if s.BufferWords() <= 0 {
+		t.Fatal("bad buffer")
+	}
+	if len(s.MatrixLabels()) != 19 {
+		t.Fatalf("full suite has %d labels, want 19", len(s.MatrixLabels()))
+	}
+	m1, err := s.Matrix("K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := s.Matrix("K")
+	if m1 != m2 {
+		t.Fatal("matrix cache miss")
+	}
+	if _, err := s.Matrix("nope"); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+}
+
+func TestExtReorderQuick(t *testing.T) {
+	s := quick()
+	s.Labels = []string{"I"} // hub-heavy power-law: reordering should help
+	tbl, err := ExtReorder(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := cell(t, tbl, 0, 1)
+	if ratio <= 0 {
+		t.Fatalf("bad ratio %v", ratio)
+	}
+	if ratio > 1.15 {
+		t.Fatalf("degree reordering hurt a power-law matrix: %vx", ratio)
+	}
+}
+
+func TestTableJSONAndMarkdown(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "t", Headers: []string{"A", "B"}}
+	tbl.Append("v", 1.5)
+	tbl.Notes = append(tbl.Notes, "n")
+	j := tbl.JSON()
+	for _, want := range []string{`"id": "x"`, `"v"`, `"1.50"`, `"n"`} {
+		if !strings.Contains(j, want) {
+			t.Fatalf("json missing %q:\n%s", want, j)
+		}
+	}
+	md := tbl.Markdown()
+	for _, want := range []string{"### x: t", "| A | B |", "| v | 1.50 |", "*n*"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

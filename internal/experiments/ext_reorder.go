@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"d2t2/internal/einsum"
+	"d2t2/internal/optimizer"
+	"d2t2/internal/tensor"
+)
+
+// ExtReorder evaluates a preprocessing extension: relabeling rows and
+// columns by decreasing degree before tiling. Coordinate-space tiling is
+// sensitive to where nonzeros sit; clustering hubs into low coordinates
+// concentrates occupancy into fewer, denser tiles, which both the
+// statistics and the final schedule exploit. Rows report D2T2's measured
+// traffic with reordering relative to without (lower is better).
+func ExtReorder(s *Suite) (*Table, error) {
+	e := einsum.SpMSpMIKJ()
+	tbl := &Table{
+		ID:      "ext-reorder",
+		Title:   "Extension: degree reordering before tiling (DESIGN.md §8)",
+		Headers: []string{"Matrix", "ReorderedVsOriginal"},
+	}
+	var ratios []float64
+	for _, label := range s.MatrixLabels() {
+		a, err := s.Matrix(label)
+		if err != nil {
+			return nil, err
+		}
+		base, err := d2t2Traffic(e, a, s)
+		if err != nil {
+			return nil, err
+		}
+		// Symmetric relabel: the same permutation on rows and columns
+		// keeps A×Aᵀ equivalent up to a permutation of the output.
+		perm := combinedDegreeOrder(a)
+		re := a.Relabel(0, perm).Relabel(1, perm)
+		after, err := d2t2Traffic(e, re, s)
+		if err != nil {
+			return nil, err
+		}
+		r := after / base
+		ratios = append(ratios, r)
+		tbl.Append(label, r)
+	}
+	tbl.Notes = append(tbl.Notes, fmt.Sprintf(
+		"mean reordered/original traffic %.2fx (<1 means reordering helps; strongest on hub-heavy graphs)",
+		mean(ratios)))
+	return tbl, nil
+}
+
+// combinedDegreeOrder sorts coordinates by row+column occupancy.
+func combinedDegreeOrder(a *tensor.COO) []int {
+	n := a.Dims[0]
+	counts := make([]int, n)
+	for p := 0; p < a.NNZ(); p++ {
+		counts[a.Crds[0][p]]++
+		if a.Crds[1][p] < n {
+			counts[a.Crds[1][p]]++
+		}
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return counts[perm[a]] > counts[perm[b]] })
+	return perm
+}
+
+// d2t2Traffic optimizes and measures the kernel for A×Aᵀ.
+func d2t2Traffic(e *einsum.Expr, a *tensor.COO, s *Suite) (float64, error) {
+	inputs := map[string]*tensor.COO{"A": a, "B": a.Transpose()}
+	res, err := optimizer.Optimize(e, inputs, optimizer.Options{BufferWords: s.BufferWords()})
+	if err != nil {
+		return 0, err
+	}
+	m, err := measureConfig(e, inputs, res.Config, nil)
+	if err != nil {
+		return 0, err
+	}
+	return float64(m.Total()), nil
+}

@@ -1,0 +1,54 @@
+package formats
+
+// BuildSortedUnique constructs a CSF directly from coordinate arrays that
+// are already in level order, lexicographically sorted and duplicate-free.
+// crds[l][p] is the level-l coordinate of entry p. It is the fast path the
+// tiler uses to build one inner CSF per tile without re-sorting.
+//
+// dims are the per-level dimension sizes; order records which original
+// axis each level stores (used only for bookkeeping and may be nil for
+// "level l is axis l").
+func BuildSortedUnique(dims []int, order []int, crds [][]int32, vals []float64) *CSF {
+	lv := len(dims)
+	if order == nil {
+		order = make([]int, lv)
+		for l := range order {
+			order[l] = l
+		}
+	}
+	c := &CSF{
+		Dims:  append([]int(nil), dims...),
+		Order: append([]int(nil), order...),
+		Seg:   make([][]int32, lv),
+		Crd:   make([][]int32, lv),
+		Vals:  append([]float64(nil), vals...),
+	}
+	n := len(vals)
+	if n == 0 {
+		for l := 0; l < lv; l++ {
+			c.Seg[l] = []int32{0}
+		}
+		return c
+	}
+	c.Seg[0] = append(c.Seg[0], 0)
+	for p := 0; p < n; p++ {
+		div := 0
+		if p > 0 {
+			for div = 0; div < lv; div++ {
+				if crds[div][p] != crds[div][p-1] {
+					break
+				}
+			}
+		}
+		for l := div; l < lv; l++ {
+			c.Crd[l] = append(c.Crd[l], crds[l][p])
+			if l+1 < lv {
+				c.Seg[l+1] = append(c.Seg[l+1], int32(len(c.Crd[l+1])))
+			}
+		}
+	}
+	for l := 0; l < lv; l++ {
+		c.Seg[l] = append(c.Seg[l], int32(len(c.Crd[l])))
+	}
+	return c
+}

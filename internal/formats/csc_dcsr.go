@@ -1,0 +1,137 @@
+package formats
+
+import (
+	"fmt"
+
+	"d2t2/internal/tensor"
+)
+
+// CSC is a compressed-sparse-column matrix (rows within a column sorted).
+type CSC struct {
+	R, C   int
+	ColPtr []int32
+	RowIdx []int32
+	Vals   []float64
+}
+
+// BuildCSC constructs a CSC matrix from a COO matrix (duplicates summed).
+func BuildCSC(t *tensor.COO) *CSC {
+	if t.Order() != 2 {
+		panic("formats: BuildCSC requires a matrix")
+	}
+	src := t.Clone()
+	src.Dedup()
+	src.Sort([]int{1, 0})
+	m := &CSC{
+		R:      src.Dims[0],
+		C:      src.Dims[1],
+		ColPtr: make([]int32, src.Dims[1]+1),
+		RowIdx: make([]int32, src.NNZ()),
+		Vals:   append([]float64(nil), src.Vals...),
+	}
+	for p := 0; p < src.NNZ(); p++ {
+		m.ColPtr[src.Crds[1][p]+1]++
+		m.RowIdx[p] = int32(src.Crds[0][p])
+	}
+	for j := 0; j < m.C; j++ {
+		m.ColPtr[j+1] += m.ColPtr[j]
+	}
+	return m
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSC) NNZ() int { return len(m.Vals) }
+
+// Col returns the row indices and values of column j (shared slices).
+func (m *CSC) Col(j int) ([]int32, []float64) {
+	s, e := m.ColPtr[j], m.ColPtr[j+1]
+	return m.RowIdx[s:e], m.Vals[s:e]
+}
+
+// ToCOO converts back to coordinate format.
+func (m *CSC) ToCOO() *tensor.COO {
+	out := tensor.New(m.R, m.C)
+	for j := 0; j < m.C; j++ {
+		rows, vals := m.Col(j)
+		for p := range rows {
+			out.Append([]int{int(rows[p]), j}, vals[p])
+		}
+	}
+	return out
+}
+
+// DCSR is a doubly compressed sparse row matrix: only non-empty rows
+// carry pointers, making it suitable for hyper-sparse matrices whose row
+// count dwarfs the entry count (the regime of several of the paper's
+// graph datasets).
+type DCSR struct {
+	R, C   int
+	Rows   []int32 // non-empty row ids, sorted
+	RowPtr []int32 // len(Rows)+1 boundaries into ColIdx
+	ColIdx []int32
+	Vals   []float64
+}
+
+// BuildDCSR constructs a DCSR matrix from a COO matrix.
+func BuildDCSR(t *tensor.COO) *DCSR {
+	if t.Order() != 2 {
+		panic("formats: BuildDCSR requires a matrix")
+	}
+	src := t.Clone()
+	src.Dedup()
+	m := &DCSR{R: src.Dims[0], C: src.Dims[1]}
+	m.RowPtr = append(m.RowPtr, 0)
+	for p := 0; p < src.NNZ(); p++ {
+		r := int32(src.Crds[0][p])
+		if len(m.Rows) == 0 || m.Rows[len(m.Rows)-1] != r {
+			if len(m.Rows) > 0 {
+				m.RowPtr = append(m.RowPtr, int32(len(m.ColIdx)))
+			}
+			m.Rows = append(m.Rows, r)
+		}
+		m.ColIdx = append(m.ColIdx, int32(src.Crds[1][p]))
+		m.Vals = append(m.Vals, src.Vals[p])
+	}
+	m.RowPtr = append(m.RowPtr, int32(len(m.ColIdx)))
+	return m
+}
+
+// NNZ returns the number of stored entries.
+func (m *DCSR) NNZ() int { return len(m.Vals) }
+
+// NumRows returns the number of non-empty rows.
+func (m *DCSR) NumRows() int { return len(m.Rows) }
+
+// FootprintWords returns the storage footprint in words — the quantity
+// DCSR shrinks versus CSR for hyper-sparse matrices.
+func (m *DCSR) FootprintWords() int {
+	return len(m.Vals) + len(m.ColIdx) + len(m.Rows) + len(m.RowPtr)
+}
+
+// ToCOO converts back to coordinate format.
+func (m *DCSR) ToCOO() *tensor.COO {
+	out := tensor.New(m.R, m.C)
+	for ri, r := range m.Rows {
+		for p := m.RowPtr[ri]; p < m.RowPtr[ri+1]; p++ {
+			out.Append([]int{int(r), int(m.ColIdx[p])}, m.Vals[p])
+		}
+	}
+	return out
+}
+
+// SpMV computes y = A·x with a CSR matrix and a dense vector.
+func SpMV(a *CSR, x []float64) ([]float64, error) {
+	if len(x) != a.C {
+		return nil, fmt.Errorf("formats: SpMV vector length %d != %d columns", len(x), a.C)
+	}
+	y := make([]float64, a.R)
+	for i := 0; i < a.R; i++ {
+		cols, vals := a.Row(i)
+		acc := 0.0
+		for p, j := range cols {
+			acc += vals[p] * x[j]
+		}
+		y[i] = acc
+	}
+	return y, nil
+}

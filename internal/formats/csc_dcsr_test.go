@@ -1,0 +1,119 @@
+package formats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"d2t2/internal/tensor"
+)
+
+func TestCSCBuildAndCol(t *testing.T) {
+	m := tensor.New(3, 4)
+	m.Append([]int{0, 1}, 1)
+	m.Append([]int{2, 1}, 2)
+	m.Append([]int{1, 3}, 3)
+	c := BuildCSC(m)
+	rows, vals := c.Col(1)
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 2 || vals[1] != 2 {
+		t.Fatalf("col 1 = %v %v", rows, vals)
+	}
+	if rows, _ := c.Col(0); len(rows) != 0 {
+		t.Fatal("col 0 should be empty")
+	}
+	if !tensor.Equal(m, c.ToCOO()) {
+		t.Fatal("CSC round trip lost data")
+	}
+}
+
+func TestDCSRHyperSparse(t *testing.T) {
+	m := tensor.New(1000000, 1000000)
+	m.Append([]int{5, 7}, 1)
+	m.Append([]int{5, 9}, 2)
+	m.Append([]int{999999, 0}, 3)
+	d := BuildDCSR(m)
+	if d.NumRows() != 2 {
+		t.Fatalf("non-empty rows = %d, want 2", d.NumRows())
+	}
+	// DCSR footprint is tiny; CSR would carry a million row pointers.
+	if d.FootprintWords() > 20 {
+		t.Fatalf("DCSR footprint = %d", d.FootprintWords())
+	}
+	csr := BuildCSR(m)
+	if len(csr.RowPtr) != 1000001 {
+		t.Fatalf("CSR rowptr = %d", len(csr.RowPtr))
+	}
+	if !tensor.Equal(m, d.ToCOO()) {
+		t.Fatal("DCSR round trip lost data")
+	}
+}
+
+func TestSpMV(t *testing.T) {
+	a := tensor.FromDense([][]float64{
+		{1, 0, 2},
+		{0, 3, 0},
+	})
+	y, err := SpMV(BuildCSR(a), []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 7 || y[1] != 6 {
+		t.Fatalf("y = %v", y)
+	}
+	if _, err := SpMV(BuildCSR(a), []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestQuickFormatRoundTrips(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(30)
+		m := tensor.New(n, n)
+		for i := 0; i < 3*n; i++ {
+			m.Append([]int{r.Intn(n), r.Intn(n)}, float64(1+r.Intn(9)))
+		}
+		m.Dedup()
+		return tensor.Equal(m, BuildCSC(m).ToCOO()) &&
+			tensor.Equal(m, BuildDCSR(m).ToCOO()) &&
+			tensor.Equal(m, BuildCSR(m).ToCOO())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSpMVAgainstDense: SpMV agrees with the dense computation.
+func TestQuickSpMVAgainstDense(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 8 + r.Intn(16)
+		m := tensor.New(n, n)
+		for i := 0; i < 2*n; i++ {
+			m.Append([]int{r.Intn(n), r.Intn(n)}, float64(1+r.Intn(5)))
+		}
+		m.Dedup()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(r.Intn(7))
+		}
+		y, err := SpMV(BuildCSR(m), x)
+		if err != nil {
+			return false
+		}
+		d := m.ToDense()
+		for i := 0; i < n; i++ {
+			want := 0.0
+			for j := 0; j < n; j++ {
+				want += d[i][j] * x[j]
+			}
+			if y[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

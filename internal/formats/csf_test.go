@@ -1,0 +1,221 @@
+package formats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"d2t2/internal/tensor"
+)
+
+// paperMatrix reproduces the example sparse matrix of Figure 2a spirit:
+// a small matrix whose CSF levels we can verify by hand.
+func paperMatrix() *tensor.COO {
+	m := tensor.New(4, 4)
+	m.Append([]int{0, 0}, 1)
+	m.Append([]int{0, 2}, 2)
+	m.Append([]int{1, 1}, 3)
+	m.Append([]int{3, 0}, 4)
+	m.Append([]int{3, 3}, 5)
+	return m
+}
+
+func TestBuildCSFStructure(t *testing.T) {
+	c := Build(paperMatrix(), nil)
+	if c.Levels() != 2 || c.NNZ() != 5 {
+		t.Fatalf("levels=%d nnz=%d", c.Levels(), c.NNZ())
+	}
+	// Root level: rows 0,1,3.
+	if got := c.FiberCount(0); got != 3 {
+		t.Fatalf("root fiber count = %d, want 3", got)
+	}
+	wantRows := []int32{0, 1, 3}
+	for i, w := range wantRows {
+		if c.Crd[0][i] != w {
+			t.Fatalf("Crd[0]=%v, want rows %v", c.Crd[0], wantRows)
+		}
+	}
+	// Seg[0] must be [0, 3].
+	if len(c.Seg[0]) != 2 || c.Seg[0][0] != 0 || c.Seg[0][1] != 3 {
+		t.Fatalf("Seg[0]=%v", c.Seg[0])
+	}
+	// Seg[1] must have one boundary per row plus one: [0,2,3,5].
+	want := []int32{0, 2, 3, 5}
+	if len(c.Seg[1]) != len(want) {
+		t.Fatalf("Seg[1]=%v, want %v", c.Seg[1], want)
+	}
+	for i := range want {
+		if c.Seg[1][i] != want[i] {
+			t.Fatalf("Seg[1]=%v, want %v", c.Seg[1], want)
+		}
+	}
+	// Column coordinates abutted: [0,2,1,0,3].
+	wantCols := []int32{0, 2, 1, 0, 3}
+	for i := range wantCols {
+		if c.Crd[1][i] != wantCols[i] {
+			t.Fatalf("Crd[1]=%v, want %v", c.Crd[1], wantCols)
+		}
+	}
+}
+
+func TestCSFFootprint(t *testing.T) {
+	c := Build(paperMatrix(), nil)
+	// vals(5) + crd0(3) + seg0(2) + crd1(5) + seg1(4) = 19 words.
+	if got := c.FootprintWords(); got != 19 {
+		t.Fatalf("footprint = %d, want 19", got)
+	}
+}
+
+func TestCSFEmpty(t *testing.T) {
+	c := Build(tensor.New(5, 5), nil)
+	if c.NNZ() != 0 {
+		t.Fatal("empty CSF has values")
+	}
+	back := c.ToCOO()
+	if back.NNZ() != 0 {
+		t.Fatal("empty CSF round trip produced entries")
+	}
+}
+
+func TestCSFRoundTrip(t *testing.T) {
+	m := paperMatrix()
+	c := Build(m, nil)
+	if !tensor.Equal(m, c.ToCOO()) {
+		t.Fatal("CSF round trip lost data")
+	}
+}
+
+func TestCSFPermutedOrder(t *testing.T) {
+	m := paperMatrix()
+	c := Build(m, []int{1, 0}) // column-major CSF
+	if c.Dims[0] != 4 {
+		t.Fatalf("level dims = %v", c.Dims)
+	}
+	// Distinct columns: 0,1,2,3 -> 4 root fibers.
+	if got := c.FiberCount(0); got != 4 {
+		t.Fatalf("column-major root fibers = %d, want 4", got)
+	}
+	if !tensor.Equal(m, c.ToCOO()) {
+		t.Fatal("column-major CSF round trip lost data")
+	}
+}
+
+func TestCSFSubtreeNNZ(t *testing.T) {
+	c := Build(paperMatrix(), nil)
+	// Row 0 has 2 entries, row 1 has 1, row 3 has 2.
+	want := []int{2, 1, 2}
+	for i, w := range want {
+		if got := c.SubtreeNNZ(0, i); got != w {
+			t.Fatalf("SubtreeNNZ(0,%d) = %d, want %d", i, got, w)
+		}
+	}
+	// Leaf-level subtrees are single values.
+	if got := c.SubtreeNNZ(1, 0); got != 1 {
+		t.Fatalf("leaf subtree nnz = %d", got)
+	}
+}
+
+func TestCSF3D(t *testing.T) {
+	m := tensor.New(3, 3, 3)
+	m.Append([]int{0, 0, 0}, 1)
+	m.Append([]int{0, 0, 2}, 2)
+	m.Append([]int{0, 1, 0}, 3)
+	m.Append([]int{2, 2, 2}, 4)
+	c := Build(m, nil)
+	if c.FiberCount(0) != 2 { // i = 0, 2
+		t.Fatalf("level0 fibers = %d", c.FiberCount(0))
+	}
+	if c.FiberCount(1) != 3 { // (0,0),(0,1),(2,2)
+		t.Fatalf("level1 fibers = %d", c.FiberCount(1))
+	}
+	if c.FiberCount(2) != 4 {
+		t.Fatalf("level2 fibers = %d", c.FiberCount(2))
+	}
+	if c.SubtreeNNZ(0, 0) != 3 {
+		t.Fatalf("subtree under i=0 has %d leaves", c.SubtreeNNZ(0, 0))
+	}
+	if !tensor.Equal(m, c.ToCOO()) {
+		t.Fatal("3-d CSF round trip lost data")
+	}
+}
+
+func TestCSFWalkVisitsAll(t *testing.T) {
+	c := Build(paperMatrix(), nil)
+	counts := make([]int, 2)
+	c.Walk(func(level, pos int, coord int32) bool {
+		counts[level]++
+		return true
+	})
+	if counts[0] != 3 || counts[1] != 5 {
+		t.Fatalf("walk visited %v nodes", counts)
+	}
+	// Pruned walk: skip row 0's subtree.
+	visited := 0
+	c.Walk(func(level, pos int, coord int32) bool {
+		if level == 0 && coord == 0 {
+			return false
+		}
+		visited++
+		return true
+	})
+	if visited != 2+3 { // rows 1,3 plus their 3 leaves
+		t.Fatalf("pruned walk visited %d", visited)
+	}
+}
+
+func TestCSFDuplicatesSummed(t *testing.T) {
+	m := tensor.New(2, 2)
+	m.Append([]int{1, 1}, 2)
+	m.Append([]int{1, 1}, 3)
+	c := Build(m, nil)
+	if c.NNZ() != 1 || c.Vals[0] != 5 {
+		t.Fatalf("duplicates not combined: nnz=%d vals=%v", c.NNZ(), c.Vals)
+	}
+}
+
+func randomTensor3(r *rand.Rand, d, nnz int) *tensor.COO {
+	m := tensor.New(d, d, d)
+	for i := 0; i < nnz; i++ {
+		m.Append([]int{r.Intn(d), r.Intn(d), r.Intn(d)}, float64(1+r.Intn(5)))
+	}
+	m.Dedup()
+	return m
+}
+
+func TestQuickCSFRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomTensor3(r, 8, 60)
+		orders := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 0, 2}}
+		o := orders[r.Intn(len(orders))]
+		return tensor.Equal(m, Build(m, o).ToCOO())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCSFLeafInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomTensor3(r, 8, 60)
+		c := Build(m, nil)
+		// Sum of root-level subtree leaves equals total nnz.
+		total := 0
+		for i := 0; i < c.FiberCount(0); i++ {
+			total += c.SubtreeNNZ(0, i)
+		}
+		// Seg arrays must be monotone.
+		for l := 0; l < c.Levels(); l++ {
+			for i := 1; i < len(c.Seg[l]); i++ {
+				if c.Seg[l][i] < c.Seg[l][i-1] {
+					return false
+				}
+			}
+		}
+		return total == c.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

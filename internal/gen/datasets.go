@@ -1,0 +1,208 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"d2t2/internal/tensor"
+)
+
+// Dataset describes one synthetic stand-in for a paper dataset (Table 2 or
+// Table 5 of the paper). Build produces the tensor at a given scale: the
+// linear dimensions of the paper's original are divided by scale (nnz
+// scales with dims so per-row structure is preserved). Scale 1 reproduces
+// the paper's sizes; experiments use larger scales to stay laptop-sized.
+type Dataset struct {
+	Label string // paper label (A..W, or Table 5 name)
+	Name  string // original dataset name
+	Rows  int    // paper dimensions
+	Cols  int
+	Depth int // 0 for matrices
+	NNZ   int
+	Class string // structural class (documentation)
+	build func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO
+}
+
+// Build synthesizes the dataset at the given scale with a deterministic
+// per-dataset seed. Scale must be >= 1.
+func (d Dataset) Build(scale int) *tensor.COO {
+	if scale < 1 {
+		scale = 1
+	}
+	r := rand.New(rand.NewSource(seedFor(d.Label)))
+	rows := maxInt(d.Rows/scale, 64)
+	cols := maxInt(d.Cols/scale, 64)
+	depth := 0
+	if d.Depth > 0 {
+		depth = maxInt(d.Depth/scale, 8)
+	}
+	nnz := maxInt(d.NNZ/scale, 256)
+	return d.build(r, rows, cols, depth, nnz)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func seedFor(label string) int64 {
+	var s int64 = 7919
+	for _, c := range label {
+		s = s*131 + int64(c)
+	}
+	return s
+}
+
+// Matrices returns the SuiteSparse stand-ins of Table 2 (labels A..S).
+func Matrices() []Dataset {
+	mk := func(label, name string, rows, cols, nnz int, class string,
+		build func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO) Dataset {
+		return Dataset{Label: label, Name: name, Rows: rows, Cols: cols, NNZ: nnz, Class: class, build: build}
+	}
+	perRow := func(nnz, rows int) int { return maxInt(nnz/maxInt(rows, 1), 1) }
+
+	return []Dataset{
+		mk("A", "mc2depi", 525825, 525825, 2100225, "epidemiology grid",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return Grid5Point(r, rows)
+			}),
+		mk("B", "consph", 83334, 83334, 6010480, "FEM sphere",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return FEMBlocked(r, rows, 3, perRow(nnz, rows)/6, 24)
+			}),
+		mk("C", "rma10", 46835, 46835, 2329092, "3-D CFD",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return FEMBlocked(r, rows, 4, perRow(nnz, rows)/8, 16)
+			}),
+		mk("D", "sx-mathoverflow", 24818, 24818, 239978, "temporal graph",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return PowerLawGraph(r, rows, nnz, 1.8)
+			}),
+		mk("E", "scircuit", 170998, 170998, 958936, "circuit",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return CircuitLike(r, rows, 2, 10)
+			}),
+		mk("F", "mac_econ_fwd500", 206500, 206500, 1273389, "economics",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return EconLike(r, rows, 40)
+			}),
+		mk("G", "shipsec1", 140874, 140874, 3568176, "FEM ship",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return FEMBlocked(r, rows, 3, perRow(nnz, rows)/6, 40)
+			}),
+		mk("H", "pwtk", 217918, 217918, 11524432, "FEM wind tunnel",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return FEMBlocked(r, rows, 6, perRow(nnz, rows)/12, 20)
+			}),
+		mk("I", "soc-sign-epinions", 131828, 131828, 841372, "social graph",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return PowerLawGraph(r, rows, nnz, 1.9)
+			}),
+		mk("J", "cop20k_A", 121192, 121192, 2624331, "accelerator physics",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return FEMBlocked(r, rows, 2, perRow(nnz, rows)/4, 120)
+			}),
+		mk("K", "geom", 7343, 7343, 23796, "geometry graph",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return PowerLawGraph(r, rows, nnz, 1.4)
+			}),
+		mk("L", "pdb1HYS", 36417, 36417, 4344765, "protein",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return FEMBlocked(r, rows, 8, perRow(nnz, rows)/16, 12)
+			}),
+		mk("M", "cant", 62451, 62451, 4007383, "FEM cantilever",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return FEMBlocked(r, rows, 3, perRow(nnz, rows)/6, 10)
+			}),
+		mk("N", "bcsstk17", 10974, 10974, 428650, "stiffness",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return FEMBlocked(r, rows, 4, perRow(nnz, rows)/8, 14)
+			}),
+		mk("O", "email-EuAll", 265214, 265214, 420045, "email graph",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return PowerLawGraph(r, rows, nnz, 2.1)
+			}),
+		mk("P", "amazon0302", 262111, 262111, 1234877, "co-purchase",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return NearDiagGraph(r, rows, nnz, 24)
+			}),
+		mk("Q", "p2p-Gnutella", 62586, 62586, 147892, "p2p graph",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return UniformRandom(r, rows, cols, nnz)
+			}),
+		mk("R", "soc-Epinions1", 75888, 75888, 508837, "social graph",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return PowerLawGraph(r, rows, nnz, 1.7)
+			}),
+		mk("S", "sx-askubuntu", 159316, 159316, 596933, "temporal graph",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return PowerLawGraph(r, rows, nnz, 2.0)
+			}),
+	}
+}
+
+// Tensors returns the FROSTT/Facebook 3-tensor stand-ins (labels T..W).
+func Tensors() []Dataset {
+	mk := func(label, name string, d0, d1, d2, nnz int, skew [3]float64) Dataset {
+		return Dataset{Label: label, Name: name, Rows: d0, Cols: d1, Depth: d2, NNZ: nnz,
+			Class: "3-tensor",
+			build: func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return RandomTensor3(r, rows, cols, depth, nnz, skew)
+			}}
+	}
+	return []Dataset{
+		// Chicago-crime3 has tiny trailing modes; keep them unscaled-ish by
+		// listing the paper dims (scaling clamps at 8 anyway).
+		mk("T", "Chicago-crime3", 6187, 78, 33, 2597198, [3]float64{0.5, 0, 0}),
+		mk("U", "Uber3", 183, 1140, 1717, 1117629, [3]float64{0, 0.3, 0.3}),
+		mk("V", "Facebook", 1504, 42390, 39986, 737934, [3]float64{0.8, 1.2, 1.2}),
+		mk("W", "Nips3", 2483, 2863, 14307, 3101609, [3]float64{0.2, 0.2, 0.6}),
+	}
+}
+
+// Table5Matrices returns the eight small SuiteSparse matrices used in the
+// Opal deployment experiment (paper Table 5), generated at full size.
+func Table5Matrices() []Dataset {
+	mk := func(name string, rows, cols, nnz int, class string,
+		build func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO) Dataset {
+		return Dataset{Label: name, Name: name, Rows: rows, Cols: cols, NNZ: nnz, Class: class, build: build}
+	}
+	return []Dataset{
+		mk("bcsstm26", 1922, 1922, 1922, "diagonal mass",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO { return Diagonal(r, rows) }),
+		mk("bwm2000", 2000, 2000, 7996, "banded chemical",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO { return Banded(r, rows, 2, 4) }),
+		mk("G33", 2000, 2000, 8000, "random 4-regular",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO { return UniformRandom(r, rows, cols, nnz) }),
+		mk("N_biocarta", 1922, 1996, 4335, "biology bipartite",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return BipartiteBlocks(r, maxInt(rows, cols), nnz/36, 6, 7)
+			}),
+		mk("progas", 1650, 1900, 8897, "LP",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return NearDiagGraph(r, maxInt(rows, cols), nnz, 40)
+			}),
+		mk("qiulp", 1192, 1900, 4492, "LP",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO {
+				return NearDiagGraph(r, maxInt(rows, cols), nnz, 60)
+			}),
+		mk("tols2000", 2000, 2000, 5184, "stability",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO { return Banded(r, rows, 6, 3) }),
+		mk("west2021", 2021, 2021, 7310, "chemical eng",
+			func(r *rand.Rand, rows, cols, depth, nnz int) *tensor.COO { return CircuitLike(r, rows, 2, 3) }),
+	}
+}
+
+// ByLabel returns the dataset with the given label from any of the suites.
+func ByLabel(label string) (Dataset, error) {
+	for _, set := range [][]Dataset{Matrices(), Tensors(), Table5Matrices()} {
+		for _, d := range set {
+			if d.Label == label || d.Name == label {
+				return d, nil
+			}
+		}
+	}
+	return Dataset{}, fmt.Errorf("gen: unknown dataset %q", label)
+}

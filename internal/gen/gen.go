@@ -1,0 +1,326 @@
+// Package gen synthesizes sparse matrices and tensors that stand in for
+// the paper's SuiteSparse, FROSTT and Facebook datasets (DESIGN.md §3/§5).
+// Each generator targets a structural class — banded FEM, stencil grid,
+// circuit, power-law graph, near-diagonal graph, economic model, random
+// tensor — because the D2T2 statistics (tile occupancy, within-tile
+// density, shift correlations) are determined by that structure rather
+// than by exact values.
+//
+// All generators are deterministic given their *rand.Rand.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"d2t2/internal/tensor"
+)
+
+// clampAppend adds (i,j) if in bounds; values are 1+U(0,1) to avoid
+// accidental numeric cancellation in Dedup.
+func clampAppend(m *tensor.COO, r *rand.Rand, i, j int) {
+	if i < 0 || j < 0 || i >= m.Dims[0] || j >= m.Dims[1] {
+		return
+	}
+	m.Append([]int{i, j}, 1+r.Float64())
+}
+
+// Grid5Point builds the adjacency structure of a g×g 5-point stencil grid
+// (g = floor(sqrt(n))), the structure of epidemiology matrices such as
+// mc2depi: ~4-5 entries per row hugging the diagonal plus two side bands
+// at distance g.
+func Grid5Point(r *rand.Rand, n int) *tensor.COO {
+	g := int(math.Sqrt(float64(n)))
+	if g < 2 {
+		g = 2
+	}
+	n = g * g
+	m := tensor.New(n, n)
+	for y := 0; y < g; y++ {
+		for x := 0; x < g; x++ {
+			i := y*g + x
+			clampAppend(m, r, i, i)
+			if x+1 < g {
+				clampAppend(m, r, i, i+1)
+			}
+			if x > 0 {
+				clampAppend(m, r, i, i-1)
+			}
+			if y+1 < g {
+				clampAppend(m, r, i, i+g)
+			}
+			if y > 0 {
+				clampAppend(m, r, i, i-g)
+			}
+		}
+	}
+	m.Dedup()
+	return m
+}
+
+// FEMBlocked builds a symmetric finite-element-style matrix: nodes carry
+// `block` degrees of freedom forming dense blocks; each node couples to
+// `neighbors` nearby nodes within `band` node positions. This mimics
+// consph/rma10/shipsec1/pwtk/cant/pdb1HYS-type matrices: dense small
+// blocks along a diagonal band, strong shift correlation.
+func FEMBlocked(r *rand.Rand, n, block, neighbors, band int) *tensor.COO {
+	if block < 1 {
+		block = 1
+	}
+	nodes := n / block
+	if nodes < 1 {
+		nodes = 1
+	}
+	n = nodes * block
+	m := tensor.New(n, n)
+	addBlock := func(a, b int) {
+		for di := 0; di < block; di++ {
+			for dj := 0; dj < block; dj++ {
+				clampAppend(m, r, a*block+di, b*block+dj)
+			}
+		}
+	}
+	for a := 0; a < nodes; a++ {
+		addBlock(a, a)
+		for k := 0; k < neighbors; k++ {
+			off := 1 + r.Intn(band)
+			b := a + off
+			if b >= nodes {
+				continue
+			}
+			addBlock(a, b)
+			addBlock(b, a)
+		}
+	}
+	m.Dedup()
+	return m
+}
+
+// CircuitLike builds a scircuit-style matrix: strong diagonal, a few
+// local couplings per row, and a handful of dense rows/columns (supply
+// rails) that touch a large fraction of the circuit.
+func CircuitLike(r *rand.Rand, n, avgDeg, denseLines int) *tensor.COO {
+	m := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		clampAppend(m, r, i, i)
+		deg := 1 + r.Intn(2*avgDeg)
+		for k := 0; k < deg; k++ {
+			// Mostly local couplings with occasional long hops.
+			var j int
+			if r.Float64() < 0.85 {
+				j = i + r.Intn(2*avgDeg*8+1) - avgDeg*8
+			} else {
+				j = r.Intn(n)
+			}
+			clampAppend(m, r, i, j)
+		}
+	}
+	for l := 0; l < denseLines; l++ {
+		line := r.Intn(n)
+		stride := 3 + r.Intn(12)
+		for j := r.Intn(stride); j < n; j += stride {
+			clampAppend(m, r, line, j)
+			clampAppend(m, r, j, line)
+		}
+	}
+	m.Dedup()
+	return m
+}
+
+// EconLike builds a mac_econ-style input-output matrix: sector blocks with
+// intra-block structure plus a band of inter-sector flows and a few dense
+// aggregate columns.
+func EconLike(r *rand.Rand, n, sectors int) *tensor.COO {
+	m := tensor.New(n, n)
+	secSize := n / sectors
+	if secSize < 1 {
+		secSize = 1
+	}
+	for i := 0; i < n; i++ {
+		clampAppend(m, r, i, i)
+		sec := i / secSize
+		// Intra-sector couplings.
+		for k := 0; k < 3; k++ {
+			clampAppend(m, r, i, sec*secSize+r.Intn(secSize))
+		}
+		// Flows to neighboring sectors.
+		for k := 0; k < 2; k++ {
+			tgt := sec + 1 + r.Intn(3)
+			if tgt*secSize < n {
+				clampAppend(m, r, i, tgt*secSize+r.Intn(secSize))
+			}
+		}
+	}
+	// Aggregate columns.
+	for c := 0; c < sectors/4+1; c++ {
+		col := r.Intn(n)
+		for i := 0; i < n; i += 2 + r.Intn(6) {
+			clampAppend(m, r, i, col)
+		}
+	}
+	m.Dedup()
+	return m
+}
+
+// PowerLawGraph builds a directed graph adjacency matrix with zipf-like
+// in-degree (soc-Epinions/sx-askubuntu/email-EuAll class): hub columns
+// receive most edges; rows have small bounded out-degree. alpha controls
+// skew (larger = more skewed).
+func PowerLawGraph(r *rand.Rand, n, edges int, alpha float64) *tensor.COO {
+	m := tensor.New(n, n)
+	// Inverse-CDF sampling of a discrete power law over column ids.
+	sample := func() int {
+		u := r.Float64()
+		// x in [1,n], p(x) ~ x^-alpha via inverse transform of the
+		// continuous envelope.
+		x := math.Pow(float64(n), 1-alpha)*u + (1 - u)
+		v := int(math.Pow(x, 1/(1-alpha)))
+		if v < 1 {
+			v = 1
+		}
+		if v > n {
+			v = n
+		}
+		return v - 1
+	}
+	for e := 0; e < edges; e++ {
+		i := r.Intn(n)
+		j := sample()
+		clampAppend(m, r, i, j)
+	}
+	m.Dedup()
+	return m
+}
+
+// NearDiagGraph builds an amazon0302-style co-purchase graph: ids are
+// assigned by crawl order so most edges land near the diagonal, with a
+// geometric spread and a small fraction of long-range links.
+func NearDiagGraph(r *rand.Rand, n, edges, spread int) *tensor.COO {
+	m := tensor.New(n, n)
+	for e := 0; e < edges; e++ {
+		i := r.Intn(n)
+		var j int
+		if r.Float64() < 0.9 {
+			// Geometric offset around i.
+			off := 1
+			for r.Float64() < 0.7 && off < spread {
+				off++
+			}
+			if r.Intn(2) == 0 {
+				off = -off
+			}
+			j = i + off*(1+r.Intn(4))
+		} else {
+			j = r.Intn(n)
+		}
+		clampAppend(m, r, i, j)
+	}
+	m.Dedup()
+	return m
+}
+
+// UniformRandom builds an Erdős–Rényi-style matrix with the given number
+// of entries placed uniformly (p2p-Gnutella class, and the RAND operands
+// of Table 3).
+func UniformRandom(r *rand.Rand, rows, cols, nnz int) *tensor.COO {
+	m := tensor.New(rows, cols)
+	for e := 0; e < nnz; e++ {
+		clampAppend(m, r, r.Intn(rows), r.Intn(cols))
+	}
+	m.Dedup()
+	return m
+}
+
+// Banded builds a matrix with entries only within halfBand of the
+// diagonal, filled to the requested per-row count.
+func Banded(r *rand.Rand, n, halfBand, perRow int) *tensor.COO {
+	m := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		clampAppend(m, r, i, i)
+		for k := 0; k < perRow-1; k++ {
+			off := r.Intn(2*halfBand+1) - halfBand
+			clampAppend(m, r, i, i+off)
+		}
+	}
+	m.Dedup()
+	return m
+}
+
+// Diagonal builds a pure diagonal matrix (bcsstm26 is a diagonal mass
+// matrix).
+func Diagonal(r *rand.Rand, n int) *tensor.COO {
+	m := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		clampAppend(m, r, i, i)
+	}
+	return m
+}
+
+// RandomTensor3 builds an order-3 tensor with nnz entries. Axis skews
+// bias coordinates toward low indices: skew 0 means uniform; larger skews
+// concentrate mass (Chicago-crime/Uber/Nips class).
+func RandomTensor3(r *rand.Rand, d0, d1, d2, nnz int, skew [3]float64) *tensor.COO {
+	t := tensor.New(d0, d1, d2)
+	draw := func(dim int, s float64) int {
+		if s <= 0 {
+			return r.Intn(dim)
+		}
+		// Beta(1, 1+s)-like skew toward 0 via power transform.
+		return int(math.Pow(r.Float64(), 1+s) * float64(dim))
+	}
+	for e := 0; e < nnz; e++ {
+		c := []int{draw(d0, skew[0]), draw(d1, skew[1]), draw(d2, skew[2])}
+		for a, v := range c {
+			if v >= t.Dims[a] {
+				c[a] = t.Dims[a] - 1
+			}
+		}
+		t.Append(c, 1+r.Float64())
+	}
+	t.Dedup()
+	return t
+}
+
+// BipartiteBlocks builds an incidence-like matrix of scattered dense
+// blocks (N_biocarta-style biological pathway networks: groups of rows
+// sharing groups of columns). Blocks are placed with a bias toward the
+// diagonal, giving clustered occupancy rather than hub columns.
+func BipartiteBlocks(r *rand.Rand, n, blocks, rowsPer, colsPer int) *tensor.COO {
+	m := tensor.New(n, n)
+	for b := 0; b < blocks; b++ {
+		r0 := r.Intn(n - rowsPer)
+		// Column group near the row group with some scatter.
+		c0 := r0 + r.Intn(n/4) - n/8
+		if c0 < 0 {
+			c0 = 0
+		}
+		if c0 > n-colsPer {
+			c0 = n - colsPer
+		}
+		for i := 0; i < rowsPer; i++ {
+			for j := 0; j < colsPer; j++ {
+				if r.Float64() < 0.8 {
+					clampAppend(m, r, r0+i, c0+j)
+				}
+			}
+		}
+	}
+	m.Dedup()
+	return m
+}
+
+// ShiftRows returns a copy of the matrix with every entry's row index
+// shifted by s (mod rows). The paper uses shifted copies (A') to build the
+// partially correlated validation case of §5.3.
+func ShiftRows(m *tensor.COO, s int) *tensor.COO {
+	out := tensor.New(m.Dims...)
+	for p := 0; p < m.NNZ(); p++ {
+		i := (m.Crds[0][p] + s) % m.Dims[0]
+		if i < 0 {
+			i += m.Dims[0]
+		}
+		out.Append([]int{i, m.Crds[1][p]}, m.Vals[p])
+	}
+	out.Dedup()
+	return out
+}

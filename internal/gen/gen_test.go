@@ -1,0 +1,267 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"d2t2/internal/tensor"
+)
+
+func rng() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+func TestGrid5Point(t *testing.T) {
+	m := Grid5Point(rng(), 100)
+	if m.Dims[0] != 100 {
+		t.Fatalf("dims = %v", m.Dims)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Interior rows have exactly 5 entries; total close to 5n.
+	if m.NNZ() < 4*100 || m.NNZ() > 5*100 {
+		t.Fatalf("nnz = %d, want ~5 per row", m.NNZ())
+	}
+	// Stencil structure: every entry within distance g of diagonal.
+	g := 10
+	for p := 0; p < m.NNZ(); p++ {
+		d := m.Crds[0][p] - m.Crds[1][p]
+		if d < -g || d > g {
+			t.Fatalf("entry at distance %d from diagonal", d)
+		}
+	}
+}
+
+func TestFEMBlockedSymmetricBanded(t *testing.T) {
+	m := FEMBlocked(rng(), 300, 3, 4, 10)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dense := m.ToDense()
+	for p := 0; p < m.NNZ(); p++ {
+		i, j := m.Crds[0][p], m.Crds[1][p]
+		if dense[j][i] == 0 {
+			t.Fatalf("asymmetric entry (%d,%d)", i, j)
+		}
+		if abs(i-j) > (10+1)*3 {
+			t.Fatalf("entry (%d,%d) outside band", i, j)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestCircuitLikeHasDiagonal(t *testing.T) {
+	m := CircuitLike(rng(), 200, 2, 3)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	onDiag := 0
+	for p := 0; p < m.NNZ(); p++ {
+		if m.Crds[0][p] == m.Crds[1][p] {
+			onDiag++
+		}
+	}
+	if onDiag != 200 {
+		t.Fatalf("diagonal entries = %d, want 200", onDiag)
+	}
+}
+
+func TestPowerLawGraphSkew(t *testing.T) {
+	m := PowerLawGraph(rng(), 1000, 8000, 1.8)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Column in-degrees must be skewed: top 10% of columns should hold a
+	// disproportionate share of entries.
+	colDeg := make([]int, 1000)
+	for p := 0; p < m.NNZ(); p++ {
+		colDeg[m.Crds[1][p]]++
+	}
+	top := 0
+	for c := 0; c < 100; c++ {
+		top += colDeg[c]
+	}
+	if float64(top) < 0.3*float64(m.NNZ()) {
+		t.Fatalf("power-law skew too weak: top-10%% columns hold %d/%d", top, m.NNZ())
+	}
+}
+
+func TestUniformRandomRect(t *testing.T) {
+	m := UniformRandom(rng(), 50, 80, 400)
+	if m.Dims[0] != 50 || m.Dims[1] != 80 {
+		t.Fatalf("dims = %v", m.Dims)
+	}
+	if m.NNZ() < 350 || m.NNZ() > 400 { // dedup may remove a few
+		t.Fatalf("nnz = %d", m.NNZ())
+	}
+}
+
+func TestBandedAndDiagonal(t *testing.T) {
+	b := Banded(rng(), 100, 3, 4)
+	for p := 0; p < b.NNZ(); p++ {
+		if abs(b.Crds[0][p]-b.Crds[1][p]) > 3 {
+			t.Fatal("banded entry outside band")
+		}
+	}
+	d := Diagonal(rng(), 64)
+	if d.NNZ() != 64 {
+		t.Fatalf("diagonal nnz = %d", d.NNZ())
+	}
+}
+
+func TestRandomTensor3(t *testing.T) {
+	m := RandomTensor3(rng(), 20, 30, 40, 500, [3]float64{0, 0.5, 1})
+	if m.Order() != 3 {
+		t.Fatal("not order 3")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Skewed axis 2 should concentrate in the low half.
+	low := 0
+	for p := 0; p < m.NNZ(); p++ {
+		if m.Crds[2][p] < 20 {
+			low++
+		}
+	}
+	if float64(low) < 0.55*float64(m.NNZ()) {
+		t.Fatalf("axis-2 skew missing: %d/%d in low half", low, m.NNZ())
+	}
+}
+
+func TestShiftRows(t *testing.T) {
+	m := tensor.New(10, 10)
+	m.Append([]int{9, 3}, 2)
+	m.Append([]int{0, 0}, 1)
+	s := ShiftRows(m, 2)
+	d := s.ToDense()
+	if d[1][3] != 2 || d[2][0] != 1 {
+		t.Fatalf("shift wrong: %v", d)
+	}
+	if !tensor.Equal(m, ShiftRows(s, -2)) {
+		t.Fatal("shift round trip failed")
+	}
+}
+
+func TestDatasetsBuildAndAreDeterministic(t *testing.T) {
+	for _, d := range Matrices() {
+		m1 := d.Build(64)
+		if err := m1.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Label, err)
+		}
+		if m1.NNZ() == 0 {
+			t.Fatalf("%s: empty", d.Label)
+		}
+		m2 := d.Build(64)
+		if !tensor.Equal(m1, m2) {
+			t.Fatalf("%s: not deterministic", d.Label)
+		}
+	}
+}
+
+func TestTensorDatasets(t *testing.T) {
+	for _, d := range Tensors() {
+		m := d.Build(16)
+		if m.Order() != 3 {
+			t.Fatalf("%s: order %d", d.Label, m.Order())
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Label, err)
+		}
+	}
+}
+
+func TestTable5MatricesFullSize(t *testing.T) {
+	for _, d := range Table5Matrices() {
+		m := d.Build(1)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Label, err)
+		}
+		if m.Dims[0] < 1000 {
+			t.Fatalf("%s: table-5 matrices are built at full size, got %v", d.Label, m.Dims)
+		}
+	}
+}
+
+func TestByLabel(t *testing.T) {
+	d, err := ByLabel("C")
+	if err != nil || d.Name != "rma10" {
+		t.Fatalf("ByLabel(C) = %v, %v", d.Name, err)
+	}
+	if _, err := ByLabel("ZZZ"); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+	d2, err := ByLabel("bwm2000")
+	if err != nil || d2.Class != "banded chemical" {
+		t.Fatalf("ByLabel(bwm2000) = %+v, %v", d2, err)
+	}
+}
+
+func TestQuickGeneratorsValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ms := []*tensor.COO{
+			Grid5Point(r, 64+r.Intn(64)),
+			FEMBlocked(r, 100+r.Intn(100), 1+r.Intn(4), 1+r.Intn(4), 2+r.Intn(10)),
+			PowerLawGraph(r, 100+r.Intn(200), 500, 1.3+r.Float64()),
+			NearDiagGraph(r, 100+r.Intn(200), 400, 5+r.Intn(30)),
+			UniformRandom(r, 50+r.Intn(50), 50+r.Intn(50), 300),
+		}
+		for _, m := range ms {
+			if m.Validate() != nil || m.NNZ() == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBipartiteBlocks(t *testing.T) {
+	m := BipartiteBlocks(rng(), 400, 20, 6, 7)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// ~80% of 20 blocks of 42 cells, minus dedup collisions.
+	if m.NNZ() < 400 || m.NNZ() > 900 {
+		t.Fatalf("nnz = %d", m.NNZ())
+	}
+	// Block structure: the mean number of distinct columns per occupied
+	// row stays near the block width (not scattered across the matrix).
+	rows := make(map[int]map[int]bool)
+	for p := 0; p < m.NNZ(); p++ {
+		i := m.Crds[0][p]
+		if rows[i] == nil {
+			rows[i] = make(map[int]bool)
+		}
+		rows[i][m.Crds[1][p]] = true
+	}
+	spanSum, n := 0, 0
+	for _, cols := range rows {
+		min, max := 1<<30, -1
+		for c := range cols {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		// Rows participating in a single block span <= ~2 block widths.
+		if max-min <= 14 {
+			spanSum++
+		}
+		n++
+	}
+	if float64(spanSum) < 0.5*float64(n) {
+		t.Fatalf("block locality missing: %d/%d rows compact", spanSum, n)
+	}
+}

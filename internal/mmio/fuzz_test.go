@@ -1,0 +1,67 @@
+package mmio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket checks the reader never panics and that anything
+// it accepts survives a write/read round trip.
+func FuzzReadMatrixMarket(f *testing.F) {
+	seeds := []string{
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n",
+		"%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 3\n",
+		"%%MatrixMarket matrix coordinate real general\n1 1 0\n",
+		"garbage",
+		"%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ReadMatrixMarket(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted matrix fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			t.Fatalf("cannot re-write accepted matrix: %v", err)
+		}
+		if _, err := ReadMatrixMarket(&buf); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadTNS checks the tensor reader likewise.
+func FuzzReadTNS(f *testing.F) {
+	seeds := []string{
+		"1 1 1 5.0\n2 3 4 1.5\n",
+		"# comment\n1 2 3\n",
+		"1\n",
+		"0 0 0 0\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ReadTNS(strings.NewReader(s), nil)
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted tensor fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteTNS(&buf, m); err != nil {
+			t.Fatalf("cannot re-write accepted tensor: %v", err)
+		}
+		if _, err := ReadTNS(&buf, m.Dims); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,215 @@
+package mmio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"d2t2/internal/tensor"
+)
+
+func TestReadMatrixMarketGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 3
+1 1 2.5
+3 4 -1
+2 2 7
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dims[0] != 3 || m.Dims[1] != 4 || m.NNZ() != 3 {
+		t.Fatalf("dims=%v nnz=%d", m.Dims, m.NNZ())
+	}
+	d := m.ToDense()
+	if d[0][0] != 2.5 || d[2][3] != -1 || d[1][1] != 7 {
+		t.Fatalf("values wrong: %v", d)
+	}
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 1
+2 1 2
+3 3 3
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 4 { // (1,1),(2,1),(1,2),(3,3)
+		t.Fatalf("expanded nnz = %d, want 4", m.NNZ())
+	}
+	d := m.ToDense()
+	if d[0][1] != 2 || d[1][0] != 2 {
+		t.Fatal("symmetric expansion missing mirror entry")
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Vals[0] != 1 || m.Vals[1] != 1 {
+		t.Fatal("pattern entries should have value 1")
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2 4\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 3\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 3\n",
+		"%%MatrixMarket matrix coordinate real general\nnot a size line\n",
+		"nonsense header\n2 2 0\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d: invalid input accepted", i)
+		}
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	m := tensor.New(5, 7)
+	m.Append([]int{0, 6}, 1.5)
+	m.Append([]int{4, 0}, -2)
+	m.Append([]int{2, 3}, 42)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(m, back) {
+		t.Fatal("MatrixMarket round trip lost data")
+	}
+}
+
+func TestWriteMatrixMarketRejectsTensor(t *testing.T) {
+	if err := WriteMatrixMarket(&bytes.Buffer{}, tensor.New(2, 2, 2)); err == nil {
+		t.Fatal("3-tensor accepted by matrix writer")
+	}
+}
+
+func TestReadTNS(t *testing.T) {
+	in := `# FROSTT-style
+1 1 1 5.0
+2 3 4 1.5
+`
+	m, err := ReadTNS(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Order() != 3 || m.NNZ() != 2 {
+		t.Fatalf("order=%d nnz=%d", m.Order(), m.NNZ())
+	}
+	if m.Dims[0] != 2 || m.Dims[1] != 3 || m.Dims[2] != 4 {
+		t.Fatalf("inferred dims = %v", m.Dims)
+	}
+}
+
+func TestReadTNSExplicitDims(t *testing.T) {
+	in := "1 1 2\n"
+	m, err := ReadTNS(strings.NewReader(in), []int{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dims[0] != 10 || m.Dims[1] != 10 {
+		t.Fatalf("dims = %v", m.Dims)
+	}
+	if _, err := ReadTNS(strings.NewReader(in), []int{1, 1, 1}); err == nil {
+		t.Fatal("wrong-arity dims accepted")
+	}
+}
+
+func TestReadTNSErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"1 2\n1 2 3\n",
+		"0 1 5\n",
+		"1 x 5\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadTNS(strings.NewReader(in), nil); err == nil {
+			t.Fatalf("case %d: invalid tns accepted", i)
+		}
+	}
+}
+
+func TestQuickTNSRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := tensor.New(6, 7, 8)
+		for i := 0; i < 30; i++ {
+			m.Append([]int{r.Intn(6), r.Intn(7), r.Intn(8)}, float64(1+r.Intn(9)))
+		}
+		m.Dedup()
+		var buf bytes.Buffer
+		if err := WriteTNS(&buf, m); err != nil {
+			return false
+		}
+		back, err := ReadTNS(&buf, m.Dims)
+		if err != nil {
+			return false
+		}
+		return tensor.Equal(m, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadMatrixMarketSkewSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real skew-symmetric
+3 3 1
+2 1 4
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 { // mirrored off-diagonal
+		t.Fatalf("nnz = %d", m.NNZ())
+	}
+}
+
+func TestReadMatrixMarketIntegerAndComments(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate integer general
+% header comment
+2 2 1
+
+1 2 7
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Vals[0] != 7 {
+		t.Fatalf("value = %v", m.Vals[0])
+	}
+	// Unsupported qualifier.
+	if _, err := ReadMatrixMarket(strings.NewReader("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 1\n")); err == nil {
+		t.Fatal("complex accepted")
+	}
+}
+
+func TestReadTNSDimsTooSmall(t *testing.T) {
+	if _, err := ReadTNS(strings.NewReader("5 5\n"), []int{2, 2}); err == nil {
+		t.Fatal("out-of-range coordinate accepted against explicit dims")
+	}
+}

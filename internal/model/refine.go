@@ -1,0 +1,305 @@
+package model
+
+import "d2t2/internal/stats"
+
+// Cross-operand input-traffic refinement (ModeExact only).
+//
+// The paper's model multiplies single-tensor probabilities, assuming
+// operand sparsity structures are uncorrelated (§4.2.1). For kernels such
+// as A×Aᵀ that assumption fails in a correlated direction (§5.3). Because
+// the collector retains per-tile occupancy at the candidate shape
+// (stats.ShapeStats.GroupOuter), the expected fetch count of an operand
+// can instead be computed exactly for single-product kernels:
+//
+//	Traffic_V = Σ_{tiles t of V} fp(t) × Π_{cofactors W} factor_W(t)
+//
+// where factor_W(t) is, for a cofactor that binds extra loop indices
+// (indices in V's fetch space that V does not carry), the number of
+// distinct extra-index assignments of W consistent with t's shared
+// coordinates — the exact re-fetch multiplicity — and, for a cofactor
+// binding no extras, an indicator that W has any data consistent with
+// t's shared coordinates (the exact tile-filter term).
+//
+// The refinement applies when every extra index is owned by exactly one
+// cofactor; otherwise (joint conditions across cofactors, e.g. MTTKRP's
+// B and C sharing l) the mean-field path is used. ModeAnalytic never
+// refines — it is the paper-faithful model used in the Fig. 9 ablation.
+
+// cofactorPlan describes how one cofactor constrains V's fetches.
+type cofactorPlan struct {
+	// sharedV are V's axis positions whose coordinates key the lookup;
+	// sharedW are the corresponding axis positions in W.
+	sharedV, sharedW []int
+	// count is non-nil for extras-owning cofactors: shared-coordinate key
+	// → number of distinct extra-index assignments.
+	count map[uint64]int
+	// exists is non-nil for filter cofactors: key → any data present.
+	exists map[uint64]struct{}
+}
+
+// refinedInputTraffic computes the exact expected traffic for occurrence
+// vi under a single-product kernel, or (0, false) when the preconditions
+// fail and the caller must fall back to the mean-field estimate.
+func (p *Predictor) refinedInputTraffic(vi int, views []*tensorView, prod []int) (float64, bool) {
+	e := p.Expr
+	v := views[vi]
+	if v.sh == nil || len(v.sh.GroupOuter) == 0 {
+		return 0, false
+	}
+	own := make(map[string]int, len(v.ref.Indices)) // index var -> V axis
+	for a, ix := range v.ref.Indices {
+		own[ix] = a
+	}
+	fetch := e.FetchSpace(v.ref)
+	extraOwner := make(map[string]int) // extra index -> count of cofactors carrying it
+	var extras []string
+	for _, ix := range fetch {
+		if _, ok := own[ix]; !ok {
+			extras = append(extras, ix)
+			extraOwner[ix] = 0
+		}
+	}
+	for _, wi := range prod {
+		if wi == vi {
+			continue
+		}
+		for _, ix := range views[wi].ref.Indices {
+			if _, isExtra := extraOwner[ix]; isExtra {
+				extraOwner[ix]++
+			}
+		}
+	}
+	for _, ix := range extras {
+		if extraOwner[ix] != 1 {
+			return 0, false
+		}
+	}
+
+	var plans []cofactorPlan
+	for _, wi := range prod {
+		if wi == vi {
+			continue
+		}
+		w := views[wi]
+		if w.sh == nil {
+			return 0, false
+		}
+		var plan cofactorPlan
+		var wExtras []int
+		for a, ix := range w.ref.Indices {
+			if va, ok := own[ix]; ok {
+				// Shared coordinate: tile sizes must agree for the outer
+				// grids to align.
+				if w.tileDims[a] != v.tileDims[va] {
+					return 0, false
+				}
+				plan.sharedV = append(plan.sharedV, va)
+				plan.sharedW = append(plan.sharedW, a)
+			} else if _, isExtra := extraOwner[ix]; isExtra {
+				wExtras = append(wExtras, a)
+			}
+			// Other indices of W lie below V's fetch level and are
+			// marginalized by the projections below.
+		}
+		if len(wExtras) > 0 {
+			plan.count = make(map[uint64]int)
+			seen := make(map[uint64]map[uint64]struct{})
+			for _, oc := range w.sh.GroupOuter {
+				key := projKey(oc, plan.sharedW)
+				ext := projKey(oc, wExtras)
+				s := seen[key]
+				if s == nil {
+					s = make(map[uint64]struct{})
+					seen[key] = s
+				}
+				s[ext] = struct{}{}
+			}
+			for key, s := range seen {
+				plan.count[key] = len(s)
+			}
+		} else {
+			plan.exists = make(map[uint64]struct{})
+			for _, oc := range w.sh.GroupOuter {
+				plan.exists[projKey(oc, plan.sharedW)] = struct{}{}
+			}
+		}
+		plans = append(plans, plan)
+	}
+
+	traffic := 0.0
+	for t, oc := range v.sh.GroupOuter {
+		f := v.sh.GroupFP[t]
+		mult := 1.0
+		for _, plan := range plans {
+			key := projKey(oc, plan.sharedV)
+			if plan.count != nil {
+				mult *= float64(plan.count[key])
+			} else if _, ok := plan.exists[key]; !ok {
+				mult = 0
+			}
+			if mult == 0 {
+				break
+			}
+		}
+		traffic += f * mult
+	}
+	return traffic, true
+}
+
+// projKey packs the coordinates at the given axis positions into a key.
+func projKey(oc []int32, axes []int) uint64 {
+	var k uint64
+	for _, a := range axes {
+		k = k<<21 | uint64(oc[a])
+	}
+	return k
+}
+
+// refinedOutput computes the output-traffic estimate for two-factor
+// single-contraction kernels from exact cross-operand statistics:
+//
+//   - the total partial-product count is Σ_e cV(e)·cW(e) over the
+//     contracted axis element histograms (exact — it equals the MAC
+//     count of the execution),
+//   - the write count is Σ over contracted tile slices of
+//     cntV(slice)·cntW(slice) (exact for leaf-level writes; an upper
+//     bound that is capped for stationary outputs),
+//   - within-write reduction divides partials by the Corrs sum over the
+//     contraction extent covered by one write (Eq. 20's discount).
+//
+// Returns (words, true) or (0, false) when preconditions fail.
+func (p *Predictor) refinedOutput(views []*tensorView, prod []int, cfg Config, outerN map[string]float64) (float64, bool) {
+	e := p.Expr
+	if len(prod) != 2 {
+		return 0, false
+	}
+	contracted := e.Contracted()
+	if len(contracted) != 1 {
+		return 0, false
+	}
+	ix := contracted[0]
+	v, w := views[prod[0]], views[prod[1]]
+	if v.sh == nil || w.sh == nil {
+		return 0, false
+	}
+	axV, axW := axisOf(v, ix), axisOf(w, ix)
+	if axV < 0 || axW < 0 {
+		return 0, false
+	}
+	if v.st.Dims[axV] != w.st.Dims[axW] || v.tileDims[axV] != w.tileDims[axW] {
+		return 0, false
+	}
+
+	// Exact total partial products.
+	cV, cW := v.st.ElemCounts[axV], w.st.ElemCounts[axW]
+	if cV == nil || cW == nil {
+		return 0, false
+	}
+	partials := 0.0
+	for i := range cV {
+		partials += float64(cV[i]) * float64(cW[i])
+	}
+	if partials == 0 {
+		return 0, true
+	}
+
+	// Exact tile-level pair count along the contracted slices.
+	nSlices := v.sh.OuterDims[axV]
+	sliceV := make([]int32, nSlices)
+	for _, oc := range v.sh.GroupOuter {
+		sliceV[oc[axV]]++
+	}
+	sliceW := make([]int32, nSlices)
+	for _, oc := range w.sh.GroupOuter {
+		sliceW[oc[axW]]++
+	}
+	leafPairs := 0.0
+	for s := 0; s < nSlices; s++ {
+		leafPairs += float64(sliceV[s]) * float64(sliceW[s])
+	}
+
+	outDepth := e.FetchLevel(e.Out)
+	writes := leafPairs
+	if outDepth < len(e.Order)-1 {
+		// Output is stationary across deeper loops: distinct out-tile
+		// combinations bound the writes.
+		bound := 1.0
+		for d := 0; d <= outDepth; d++ {
+			bound *= outerN[e.Order[d]]
+		}
+		if bound < writes {
+			writes = bound
+		}
+	}
+	if writes < 1 {
+		writes = 1
+	}
+
+	// Within-write contraction extent: the inner tile span, plus the
+	// whole outer range when the contraction loop sits below the
+	// output's stationarity level.
+	extent := cfg[ix]
+	if e.OrderPos(ix) > outDepth {
+		extent = v.st.Dims[axV]
+	}
+	corr := 1.0
+	if p.UseCorrs {
+		corr = p.corrDivisor(ix, Config{ix: extent}, prod, views)
+		if corr < 1 {
+			corr = 1
+		}
+	}
+	// The Corrs sum measures how much two contracted slices overlap when
+	// both contribute — but a collision also needs both slices to carry
+	// data for the same write. Damp the discount by the expected partial
+	// density of one write region (λ ≥ 1 keeps the full discount; sparse
+	// writes keep most partials distinct).
+	outArea := 1.0
+	for _, oix := range e.Out.Indices {
+		outArea *= float64(cfg[oix])
+	}
+	lambda := partials / writes / maxFloat(outArea, 1)
+	if lambda > 1 {
+		lambda = 1
+	}
+	// How much of the Corrs discount applies depends on whether the two
+	// operands select *aligned* structure (A×Aᵀ: every overlap collides)
+	// or independent structure (A×random: collisions additionally need
+	// density λ). The operands' pair sketches estimate that alignment.
+	align := 0.0
+	if len(v.st.PairSketch) > axV && len(w.st.PairSketch) > axW {
+		align = stats.SketchJaccard(v.st.PairSketch[axV], w.st.PairSketch[axW])
+	}
+	damp := align + (1-align)*lambda
+	reduction := 1 + (corr-1)*damp
+	written := partials / reduction
+	if written > partials {
+		written = partials
+	}
+
+	// CSF words: values + leaf coordinates + root fibers per write.
+	rootAxis := e.LevelOrder(e.Out)[0]
+	rootDim := float64(cfg[e.Out.Indices[rootAxis]])
+	fibers := writes * rootDim
+	if fibers > written {
+		fibers = written
+	}
+	return 2*written + 2*fibers + 3*writes, true
+}
+
+// axisOf returns the view's axis bound to the index variable, or -1.
+func axisOf(v *tensorView, ix string) int {
+	for a, vix := range v.ref.Indices {
+		if vix == ix {
+			return a
+		}
+	}
+	return -1
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"d2t2/internal/einsum"
+	"d2t2/internal/tensor"
+)
+
+// Dataflow selection (extension). The paper assumes the accelerator's
+// dataflow order is given and optimizes tiling for it (§2: "we assume
+// the user has provided a valid dataflow order"). Since the traffic
+// model prices any order, the same machinery can also *choose* the
+// order: run the pipeline per candidate and keep the lowest predicted
+// traffic. This is the lightweight counterpart of auto-scheduling
+// systems (the paper's related work [1, 14]), made cheap by the model.
+
+// DataflowCandidate records one evaluated order.
+type DataflowCandidate struct {
+	Order     []string
+	Result    *Result
+	Predicted float64
+}
+
+// SelectDataflow runs the D2T2 pipeline for each candidate dataflow
+// order (nil = all permutations of the kernel's indices) and returns the
+// result with minimal predicted traffic. Statistics are re-collected per
+// order because tensor level orders must match the dataflow.
+func SelectDataflow(e *einsum.Expr, inputs map[string]*tensor.COO, orders [][]string, opts Options) (*Result, []DataflowCandidate, error) {
+	if orders == nil {
+		orders = e.OrderPermutations()
+	}
+	var cands []DataflowCandidate
+	bestIdx := -1
+	for _, order := range orders {
+		variant, err := e.WithOrder(order)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := Optimize(variant, inputs, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		cands = append(cands, DataflowCandidate{
+			Order:     append([]string(nil), order...),
+			Result:    res,
+			Predicted: res.Predicted.Total(),
+		})
+		if bestIdx < 0 || cands[len(cands)-1].Predicted < cands[bestIdx].Predicted {
+			bestIdx = len(cands) - 1
+		}
+	}
+	if bestIdx < 0 {
+		return nil, nil, fmt.Errorf("optimizer: no dataflow candidates")
+	}
+	return cands[bestIdx].Result, cands, nil
+}

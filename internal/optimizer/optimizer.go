@@ -1,0 +1,447 @@
+// Package optimizer implements D2T2's tiling scheme optimizer (paper
+// §5.2) — the top of the toolchain in Figure 1. Given a kernel, its input
+// tensors and a buffer budget it:
+//
+//  1. Tiles the inputs with the Conservative square configuration.
+//  2. Collects the Tile Statistics (package stats).
+//  3. Sweeps tile *shapes* at constant area — the reorder-factor (RF)
+//     family {i: T·RF, k: T/RF} of Eq. 21 — and picks the shape whose
+//     predicted traffic (package model) is minimal.
+//  4. Conservatively grows tile *size*: starting from the TileFactor
+//     bound of Eq. 22 (buffer / max occupied tile), output-index tile
+//     dimensions are doubled greedily while every input's largest actual
+//     tile still fits in the buffer.
+//
+// The result is a static, non-uniform rectangular configuration that is
+// guaranteed to fit the input buffer — no specialized hardware needed.
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+
+	"d2t2/internal/einsum"
+	"d2t2/internal/model"
+	"d2t2/internal/stats"
+	"d2t2/internal/tensor"
+	"d2t2/internal/tiling"
+)
+
+// Options configures the optimizer. Zero values select defaults.
+type Options struct {
+	// BufferWords is the accelerator input-buffer capacity in 4-byte
+	// words. Required.
+	BufferWords int
+	// RFs are the candidate reorder factors (default ¼, ½, 1, 2, 4, 8).
+	// Values > 1 grow the primary output index and shrink the contracted
+	// index; values < 1 do the opposite.
+	RFs []float64
+	// Mode selects the statistics evaluation mode (default ModeExact).
+	Mode model.Mode
+	// DisableCorrs turns off the Corrs output-reuse discount (Fig. 9
+	// ablation "w/o Correlations").
+	DisableCorrs bool
+	// CorrsOnly picks the tile shape from the Corrs sum alone — square
+	// when ΣCorrs ≥ CorrsThreshold, outer-product-like otherwise (Fig. 9
+	// ablation "Using Correlations only", threshold from Fig. 8).
+	CorrsOnly bool
+	// CorrsThreshold is the Fig. 8 decision boundary (default 1.6).
+	CorrsThreshold float64
+	// DisableRefinement turns off the model's exact cross-operand
+	// input-traffic computation, leaving the paper's pure mean-field
+	// estimates (ablated in experiment ext-refine).
+	DisableRefinement bool
+	// SkipResize stops after shape optimization (no TileFactor growth).
+	SkipResize bool
+	// MicroDiv is forwarded to the statistics collector (default 8).
+	MicroDiv int
+	// BaseTile overrides the conservative square tile dimension used for
+	// the initial tiling (0 = derive from BufferWords). Used by the §6.7
+	// packed-tiles study, which varies the initial tile size.
+	BaseTile int
+	// MaxGrowthDoublings bounds the greedy size growth (default 10).
+	MaxGrowthDoublings int
+}
+
+func (o Options) withDefaults() Options {
+	if o.RFs == nil {
+		o.RFs = []float64{0.25, 0.5, 1, 2, 4, 8}
+	}
+	if o.CorrsThreshold == 0 {
+		o.CorrsThreshold = 1.6
+	}
+	if o.MicroDiv == 0 {
+		o.MicroDiv = 8
+	}
+	if o.MaxGrowthDoublings == 0 {
+		o.MaxGrowthDoublings = 10
+	}
+	return o
+}
+
+// Candidate records one evaluated shape.
+type Candidate struct {
+	RF        float64
+	Config    model.Config
+	Predicted *model.Prediction
+}
+
+// Result is the optimizer's output.
+type Result struct {
+	Expr *einsum.Expr
+	// BaseTile is the Conservative square tile dimension.
+	BaseTile int
+	// Config is the final per-index tile configuration.
+	Config model.Config
+	// RF is the chosen reorder factor; TileFactor the Eq. 22 bound that
+	// seeded size growth.
+	RF         float64
+	TileFactor int
+	// Stats and BaseTiling are reusable byproducts of the initial pass.
+	Stats      map[string]*stats.Stats
+	BaseTiling map[string]*tiling.TiledTensor
+	// Predicted is the model's estimate for Config.
+	Predicted  *model.Prediction
+	Candidates []Candidate
+}
+
+// Optimize runs the full D2T2 pipeline for kernel e over the inputs.
+func Optimize(e *einsum.Expr, inputs map[string]*tensor.COO, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	if o.BufferWords <= 0 {
+		return nil, fmt.Errorf("optimizer: BufferWords must be positive")
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+
+	// 1. Conservative base tile: square across every index variable,
+	// sized so the highest-order input's dense tile fits.
+	maxOrder := 0
+	for _, ref := range e.Inputs() {
+		if inputs[ref.Name] == nil {
+			return nil, fmt.Errorf("optimizer: missing input %q", ref.Name)
+		}
+		if len(ref.Indices) > maxOrder {
+			maxOrder = len(ref.Indices)
+		}
+	}
+	baseTile := o.BaseTile
+	if baseTile == 0 {
+		baseTile = tiling.ConservativeSquare(o.BufferWords, maxOrder)
+	}
+	if baseTile < 1 {
+		return nil, fmt.Errorf("optimizer: buffer of %d words cannot hold any tile", o.BufferWords)
+	}
+
+	// 2. Initial tiling + statistics collection.
+	res := &Result{
+		Expr:       e,
+		BaseTile:   baseTile,
+		Stats:      make(map[string]*stats.Stats),
+		BaseTiling: make(map[string]*tiling.TiledTensor),
+	}
+	for _, ref := range e.Inputs() {
+		if _, done := res.Stats[ref.Name]; done {
+			continue
+		}
+		base := make([]int, len(ref.Indices))
+		for a := range base {
+			base[a] = baseTile
+		}
+		s, tt, err := stats.Collect(inputs[ref.Name], base, e.LevelOrder(ref),
+			&stats.Options{MicroDiv: o.MicroDiv})
+		if err != nil {
+			return nil, err
+		}
+		res.Stats[ref.Name] = s
+		res.BaseTiling[ref.Name] = tt
+	}
+
+	pred, err := model.New(e, res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	pred.Mode = o.Mode
+	pred.UseCorrs = !o.DisableCorrs
+	pred.DisableRefinement = o.DisableRefinement
+
+	// 3. Shape optimization.
+	upIdx, downIdxs := shapeAxes(e)
+	best := -1
+	rfs := o.RFs
+	if o.CorrsOnly {
+		rfs = []float64{corrsOnlyRF(e, res.Stats, baseTile, o)}
+	}
+	for _, rf := range rfs {
+		cfg := make(model.Config, len(e.Order))
+		for _, ix := range e.Order {
+			cfg[ix] = baseTile
+		}
+		cfg[upIdx] = scaleDim(baseTile, rf)
+		for _, ix := range downIdxs {
+			cfg[ix] = scaleDim(baseTile, 1/rf)
+		}
+		cfg = pred.SnapConfig(cfg)
+		// Area-preserving reshapes still change the CSF *metadata*
+		// footprint (tall tiles carry more fibers and segment bounds), so
+		// the fit guarantee must be re-checked per candidate against the
+		// conservative upper bound.
+		fitsShape := true
+		for _, ref := range e.Inputs() {
+			sh, err := evalRef(pred, res.Stats[ref.Name], ref, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if sh.MaxTileBound > o.BufferWords {
+				fitsShape = false
+				break
+			}
+		}
+		if !fitsShape && rf != 1 {
+			continue
+		}
+		p, err := pred.Predict(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Candidates = append(res.Candidates, Candidate{RF: rf, Config: cfg, Predicted: p})
+		if best < 0 || p.Total() < res.Candidates[best].Predicted.Total() {
+			best = len(res.Candidates) - 1
+		}
+	}
+	chosen := res.Candidates[best]
+	res.RF = chosen.RF
+	res.Config = chosen.Config.Clone()
+	res.Predicted = chosen.Predicted
+
+	// 4. Size optimization.
+	if !o.SkipResize {
+		if err := res.grow(pred, upIdx, o); err != nil {
+			return nil, err
+		}
+		p, err := pred.Predict(res.Config)
+		if err != nil {
+			return nil, err
+		}
+		res.Predicted = p
+	}
+	return res, nil
+}
+
+// shapeAxes picks the index scaled up (the outermost output index in the
+// dataflow order) and the indices scaled down (the contracted indices) by
+// the RF sweep.
+func shapeAxes(e *einsum.Expr) (string, []string) {
+	outSet := make(map[string]bool)
+	for _, ix := range e.Out.Indices {
+		outSet[ix] = true
+	}
+	up := e.Out.Indices[0]
+	for _, ix := range e.Order {
+		if outSet[ix] {
+			up = ix
+			break
+		}
+	}
+	return up, e.Contracted()
+}
+
+func scaleDim(base int, rf float64) int {
+	d := int(float64(base)*rf + 0.5)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// corrsOnlyRF implements the Fig. 8 heuristic: low ΣCorrs (little output
+// reuse) prefers outer-product-like tiles; high ΣCorrs prefers square.
+func corrsOnlyRF(e *einsum.Expr, st map[string]*stats.Stats, baseTile int, o Options) float64 {
+	contracted := e.Contracted()
+	if len(contracted) == 0 {
+		return 1
+	}
+	// Use the operand that carries the contraction with output indices —
+	// the same choice the model's corrDivisor makes.
+	sum := 0.0
+	n := 0
+	for _, ref := range e.Inputs() {
+		for a, ix := range ref.Indices {
+			if ix == contracted[0] {
+				sum += st[ref.Name].CorrSum(a, baseTile)
+				n++
+			}
+		}
+	}
+	if n > 0 {
+		sum /= float64(n)
+	}
+	if sum < o.CorrsThreshold {
+		return 8 // outer-product-like
+	}
+	return 1 // square
+}
+
+// grow implements the size optimization: seed with the Eq. 22 TileFactor
+// on the primary output index, then greedily double output-index tile
+// dimensions while every input's largest actual tile fits the buffer.
+func (r *Result) grow(pred *model.Predictor, upIdx string, o Options) error {
+	// Eq. 22: TileFactor = BufferSize / MaxTiles at the chosen shape.
+	maxTile := 0
+	for _, ref := range r.Expr.Inputs() {
+		sh, err := evalRef(pred, r.Stats[ref.Name], ref, r.Config)
+		if err != nil {
+			return err
+		}
+		if sh.MaxTile > maxTile {
+			maxTile = sh.MaxTile
+		}
+	}
+	r.TileFactor = 1
+	if maxTile > 0 {
+		r.TileFactor = o.BufferWords / maxTile
+	}
+	if r.TileFactor < 1 {
+		r.TileFactor = 1
+	}
+
+	fits := func(cfg model.Config) (bool, error) {
+		for _, ref := range r.Expr.Inputs() {
+			sh, err := evalRef(pred, r.Stats[ref.Name], ref, cfg)
+			if err != nil {
+				return false, err
+			}
+			// The conservative upper bound keeps D2T2's guarantee: the
+			// retiled footprint never exceeds the member-sum estimate.
+			if sh.MaxTileBound > o.BufferWords {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	// Seed: scale the primary output index by the TileFactor, backing off
+	// until it fits (the Eq. 22 estimate is conservative but the footprint
+	// aggregation is approximate).
+	for tf := r.TileFactor; tf > 1; tf /= 2 {
+		cand := r.Config.Clone()
+		cand[upIdx] = r.snapIdx(upIdx, cand[upIdx]*tf)
+		ok, err := fits(cand)
+		if err != nil {
+			return err
+		}
+		if ok {
+			r.Config = cand
+			break
+		}
+	}
+
+	// Greedy doubling over every index variable, round-robin: accept a
+	// doubling when the grown tiles still fit and the model predicts no
+	// traffic regression (ties go to the larger tile — fewer tile
+	// iterations for free). Growing contracted indices matters for
+	// high-reuse data such as diagonal matrices, where the contracted
+	// span bounds the iteration count.
+	idxs := append([]string(nil), r.Expr.Order...)
+	sort.Strings(idxs)
+	cur, err := pred.Predict(r.Config)
+	if err != nil {
+		return err
+	}
+	for pass := 0; pass < o.MaxGrowthDoublings; pass++ {
+		improved := false
+		for _, ix := range idxs {
+			cand := r.Config.Clone()
+			cand[ix] = r.snapIdx(ix, cand[ix]*2)
+			if cand[ix] == r.Config[ix] {
+				continue
+			}
+			ok, err := fits(cand)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			p, err := pred.Predict(cand)
+			if err != nil {
+				return err
+			}
+			if p.Total() <= cur.Total()*1.001 {
+				r.Config = cand
+				cur = p
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return nil
+}
+
+// snapIdx rounds a single index's tile size to the micro granularity of
+// a tensor that carries it, clamped to the dimension.
+func (r *Result) snapIdx(ix string, v int) int {
+	for _, ref := range r.Expr.Inputs() {
+		for a, rix := range ref.Indices {
+			if rix != ix {
+				continue
+			}
+			st := r.Stats[ref.Name]
+			m := st.MicroDims()[a]
+			q := (v + m/2) / m
+			if q < 1 {
+				q = 1
+			}
+			if maxQ := (st.Dims[a] + m - 1) / m; q > maxQ {
+				q = maxQ
+			}
+			return q * m
+		}
+	}
+	return v
+}
+
+// evalRef evaluates a tensor's shape statistics under cfg (snapped).
+func evalRef(pred *model.Predictor, st *stats.Stats, ref einsum.Ref, cfg model.Config) (*stats.ShapeStats, error) {
+	dims := make([]int, len(ref.Indices))
+	for a, ix := range ref.Indices {
+		td, ok := cfg[ix]
+		if !ok {
+			return nil, fmt.Errorf("optimizer: config misses %q", ix)
+		}
+		dims[a] = td
+	}
+	return st.EvalShape(st.SnapToMicro(dims))
+}
+
+// TileAll tiles every input with the final configuration (the second
+// tiling pass of the pipeline), ready for the measurement backend.
+func TileAll(e *einsum.Expr, inputs map[string]*tensor.COO, cfg model.Config) (map[string]*tiling.TiledTensor, error) {
+	out := make(map[string]*tiling.TiledTensor)
+	for _, ref := range e.Inputs() {
+		m := inputs[ref.Name]
+		if m == nil {
+			return nil, fmt.Errorf("optimizer: missing input %q", ref.Name)
+		}
+		dims := make([]int, len(ref.Indices))
+		for a, ix := range ref.Indices {
+			td, ok := cfg[ix]
+			if !ok {
+				return nil, fmt.Errorf("optimizer: config misses %q", ix)
+			}
+			if td > m.Dims[a] {
+				td = m.Dims[a]
+			}
+			dims[a] = td
+		}
+		tt, err := tiling.New(m, dims, e.LevelOrder(ref))
+		if err != nil {
+			return nil, err
+		}
+		out[ref.Name] = tt
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package sparseloop
+
+import (
+	"math/rand"
+	"testing"
+
+	"d2t2/internal/accel"
+	"d2t2/internal/einsum"
+	"d2t2/internal/exec"
+	"d2t2/internal/gen"
+	"d2t2/internal/tensor"
+	"d2t2/internal/tiling"
+)
+
+func tiledPair(t *testing.T, e *einsum.Expr, a, b *tensor.COO, tile int) map[string]*tiling.TiledTensor {
+	t.Helper()
+	out := make(map[string]*tiling.TiledTensor)
+	for name, m := range map[string]*tensor.COO{"A": a, "B": b} {
+		ref, err := e.Input(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt, err := tiling.New(m, []int{tile, tile}, e.LevelOrder(ref))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = tt
+	}
+	return out
+}
+
+// TestAgreesWithInterpreter: the analytical evaluator must match the
+// interpreting backend exactly on input traffic, tile iterations and
+// MACs for both SpMSpM dataflows and several structures.
+func TestAgreesWithInterpreter(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	cases := map[string]*tensor.COO{
+		"banded":   gen.Banded(r, 256, 5, 6),
+		"powerlaw": gen.PowerLawGraph(r, 256, 2000, 1.7),
+		"uniform":  gen.UniformRandom(r, 256, 256, 1500),
+	}
+	for name, a := range cases {
+		for _, e := range []*einsum.Expr{einsum.SpMSpMIKJ(), einsum.SpMSpMIJK()} {
+			b := a.Transpose()
+			if bref, _ := e.Input("B"); bref.Indices[0] == "j" {
+				b = a.Clone()
+			}
+			tens := tiledPair(t, e, a, b, 16)
+			est, err := Evaluate(e, tens, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := exec.Measure(e, tens, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, op := range []string{"A", "B"} {
+				if int64(est.Input[op]) != ref.Input[op] {
+					t.Fatalf("%s %v %s: analytic %v != interpreted %d",
+						name, e.Order, op, est.Input[op], ref.Input[op])
+				}
+			}
+			if int64(est.TileIterations) != ref.TileIterations {
+				t.Fatalf("%s %v: iterations %v != %d", name, e.Order, est.TileIterations, ref.TileIterations)
+			}
+			if int64(est.Partials) != ref.MACs {
+				t.Fatalf("%s %v: partials %v != MACs %d", name, e.Order, est.Partials, ref.MACs)
+			}
+		}
+	}
+}
+
+func TestOverbookingCosts(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	a := gen.UniformRandom(r, 64, 64, 1200) // dense-ish tiles
+	e := einsum.SpMSpMIKJ()
+	tens := tiledPair(t, e, a, a.Transpose(), 16)
+	plain, err := Evaluate(e, tens, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxTile := 0
+	for _, tt := range tens {
+		if tt.MaxFootprint > maxTile {
+			maxTile = tt.MaxFootprint
+		}
+	}
+	over, err := Evaluate(e, tens, Options{InputBufferWords: maxTile / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Total() <= plain.Total() || over.OverflowFetches == 0 {
+		t.Fatalf("overbooking added no cost: %v vs %v (overflows %v)",
+			over.Total(), plain.Total(), over.OverflowFetches)
+	}
+	// The overbooked analytic totals must also match the interpreter.
+	ref, err := exec.Measure(e, tens, &exec.Options{InputBufferWords: maxTile / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"A", "B"} {
+		diff := est(over.Input[op]) - ref.Input[op]
+		if diff < -1 || diff > 1 {
+			t.Fatalf("%s overbooked: analytic %v != interpreted %d", op, over.Input[op], ref.Input[op])
+		}
+	}
+	if over.Cycles(accel.Extensor()) <= 0 {
+		t.Fatal("no cycles")
+	}
+}
+
+func est(x float64) int64 { return int64(x) }
+
+func TestEvaluateErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	a := gen.UniformRandom(r, 32, 32, 100)
+	e := einsum.SpMSpMIKJ()
+	tens := tiledPair(t, e, a, a.Transpose(), 8)
+	// Missing tensor.
+	if _, err := Evaluate(e, map[string]*tiling.TiledTensor{"A": tens["A"]}, Options{}); err == nil {
+		t.Fatal("missing tensor accepted")
+	}
+	// Three-factor kernel unsupported.
+	if _, err := Evaluate(einsum.MTTKRP3(), tens, Options{}); err == nil {
+		t.Fatal("MTTKRP accepted")
+	}
+	// Mismatched contracted tile sizes.
+	refB, _ := e.Input("B")
+	badB, _ := tiling.New(a.Transpose(), []int{4, 4}, e.LevelOrder(refB))
+	if _, err := Evaluate(e, map[string]*tiling.TiledTensor{"A": tens["A"], "B": badB}, Options{}); err == nil {
+		t.Fatal("tile mismatch accepted")
+	}
+}

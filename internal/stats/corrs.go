@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"sort"
+
+	"d2t2/internal/tensor"
+)
+
+// corrsAxis computes the paper's Corrs statistic (Eq. 11) generalized to
+// arbitrary-order tensors: for positions k and k+s along the given axis,
+// the overlap between the sets of "rest" coordinates (all other axes) of
+// their entries, summed over sampled k and normalized so shift 0 is 1.
+//
+// The paper averages within sampled tiles; we compute against the full
+// coordinate range with sampled source positions, which measures the same
+// reduction potential (overlaps produce output reuse wherever they fall)
+// while bounding cost by sampleTarget × maxShift merge passes.
+func corrsAxis(t *tensor.COO, axis, maxShift, sampleTarget int) []float64 {
+	dim := t.Dims[axis]
+	if maxShift >= dim {
+		maxShift = dim - 1
+	}
+	if maxShift < 0 {
+		maxShift = 0
+	}
+	// Choose sampled source positions up front so only the entries inside
+	// their shift windows are grouped and sorted — this is what keeps the
+	// collection pass proportional to the paper's 1%-of-tiles sampling
+	// rather than to the whole tensor.
+	stride := 1
+	if sampleTarget > 0 && dim > sampleTarget {
+		stride = dim / sampleTarget
+	}
+	needed := make([]bool, dim)
+	sources := make([]int, 0, dim/stride+1)
+	for k := 0; k < dim; k += stride {
+		sources = append(sources, k)
+		for s := 0; s <= maxShift && k+s < dim; s++ {
+			needed[k+s] = true
+		}
+	}
+
+	// Group the needed entries by coordinate along axis; the "rest" of
+	// each entry is encoded into a single uint64 key.
+	rest := make(map[int][]uint64)
+	for p := 0; p < t.NNZ(); p++ {
+		k := t.Crds[axis][p]
+		if !needed[k] {
+			continue
+		}
+		var key uint64
+		for a := 0; a < t.Order(); a++ {
+			if a == axis {
+				continue
+			}
+			key = key*uint64(t.Dims[a]) + uint64(t.Crds[a][p])
+		}
+		rest[k] = append(rest[k], key)
+	}
+	for _, lst := range rest {
+		sort.Slice(lst, func(a, b int) bool { return lst[a] < lst[b] })
+	}
+
+	overlap := make([]float64, maxShift+1)
+	base := 0.0
+	for _, k := range sources {
+		lk := rest[k]
+		if len(lk) == 0 {
+			continue
+		}
+		base += float64(len(lk))
+		for s := 0; s <= maxShift; s++ {
+			ls := rest[k+s]
+			if len(ls) == 0 {
+				continue
+			}
+			overlap[s] += float64(sortedIntersection(lk, ls))
+		}
+	}
+	out := make([]float64, maxShift+1)
+	if base == 0 {
+		out[0] = 1
+		return out
+	}
+	for s := range out {
+		out[s] = overlap[s] / base
+	}
+	// Normalize so shift 0 is exactly 1 (it equals base by construction).
+	if out[0] > 0 && out[0] != 1 {
+		for s := range out {
+			out[s] /= out[0]
+		}
+	}
+	out[0] = 1
+	return out
+}
+
+// sortedIntersection returns |a ∩ b| for sorted slices.
+func sortedIntersection(a, b []uint64) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// tileCorrs computes the paper's TileCorrs statistic (Eq. 12) with the
+// conditional normalization of DESIGN.md §4: TileCorrs[s] is the
+// probability that slice i+s is occupied given slice i is, so shift 0 is
+// 1, an uncorrelated sparse occupancy gives the marginal density, and a
+// fully dense occupancy gives 1 at every shift.
+func tileCorrs(occ []bool, maxShift int) []float64 {
+	if maxShift >= len(occ) {
+		maxShift = len(occ) - 1
+	}
+	if maxShift < 0 {
+		maxShift = 0
+	}
+	out := make([]float64, maxShift+1)
+	out[0] = 1
+	for s := 1; s <= maxShift; s++ {
+		both, valid := 0, 0
+		for i := 0; i+s < len(occ); i++ {
+			if occ[i] {
+				valid++
+				if occ[i+s] {
+					both++
+				}
+			}
+		}
+		if valid > 0 {
+			out[s] = float64(both) / float64(valid)
+		}
+	}
+	return out
+}

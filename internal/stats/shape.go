@@ -1,0 +1,280 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"d2t2/internal/tensor"
+	"d2t2/internal/tiling"
+)
+
+// microSummary is a compact occupancy map of the tensor at micro-tile
+// granularity (base tile / MicroDiv per axis). It is what lets the model
+// re-evaluate occupancy statistics exactly at any candidate tile shape
+// whose dimensions are micro multiples, instead of assuming P_tile stays
+// constant across shapes.
+type microSummary struct {
+	dims      []int // original dims
+	microDims []int // micro tile size per axis
+	outerDims []int // micro grid extent per axis
+	keys      []uint64
+	nnz       []int32
+	footprint []int32
+	// fpScale calibrates the Σ-of-member-footprints estimate: merging
+	// micro CSFs shares upper-level metadata, so the sum overestimates a
+	// retiled CSF's footprint. The scale is fit once against the exact
+	// base tiling and applied to every candidate shape.
+	fpScale float64
+}
+
+func buildMicroSummary(t *tensor.COO, tt *tiling.TiledTensor, microDiv int) (*microSummary, error) {
+	if microDiv < 1 {
+		microDiv = 1
+	}
+	md := make([]int, len(tt.TileDims))
+	for a, td := range tt.TileDims {
+		md[a] = td / microDiv
+		if md[a] < 1 {
+			md[a] = 1
+		}
+	}
+	// Fast path: at micro = base the existing tiling IS the summary; no
+	// second tiling pass is needed (this keeps MicroDiv=1 collection at
+	// CSF-traversal cost, the regime of the paper's Fig. 7 overheads).
+	mt := tt
+	if microDiv != 1 {
+		var err error
+		mt, err = tiling.New(t, md, tt.Order)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ms := &microSummary{
+		dims:      append([]int(nil), t.Dims...),
+		microDims: md,
+		outerDims: append([]int(nil), mt.OuterDims...),
+	}
+	// Map iteration order is irrelevant: every consumer aggregates the
+	// micro entries order-insensitively (integer sums, maxima, set
+	// counts) and EvalShape re-sorts its group output deterministically.
+	for k, tile := range mt.Tiles {
+		ms.keys = append(ms.keys, k)
+		ms.nnz = append(ms.nnz, int32(tile.NNZ()))
+		ms.footprint = append(ms.footprint, int32(tile.Footprint))
+	}
+
+	// Fit the footprint calibration at the base shape, where the exact
+	// retiled footprint is known from the initial tiling.
+	estBase := 0
+	for _, fp := range ms.footprint {
+		estBase += int(fp)
+	}
+	ms.fpScale = 1
+	if estBase > 0 && tt.TotalFootprint > 0 {
+		ms.fpScale = float64(tt.TotalFootprint) / float64(estBase)
+	}
+	return ms, nil
+}
+
+// ShapeStats summarizes the tensor's occupancy under one candidate tile
+// shape, evaluated exactly from the micro summary.
+type ShapeStats struct {
+	TileDims  []int
+	OuterDims []int
+	NumTiles  int       // non-empty tiles
+	PTile     float64   // NumTiles / Π OuterDims
+	Marginal  []float64 // per axis: occupied slice fraction
+	Occupied  []int     // per axis: occupied slice count
+	SizeTile  float64   // mean footprint words over non-empty tiles
+	MaxTile   int
+	// MaxTileBound is the uncalibrated sum of member micro-tile
+	// footprints for the largest tile: a true upper bound on the retiled
+	// CSF footprint (member boundaries align, so merging only shares
+	// metadata). Fit guarantees must use this, not MaxTile.
+	MaxTileBound int
+	MeanNNZ      float64 // mean nnz per non-empty tile
+	Density      float64 // MeanNNZ / tile area
+	// PrefixOccupied[l] is the number of distinct outer coordinate
+	// prefixes over levels 0..l (in the tensor's level order). The last
+	// entry equals NumTiles. PrefixOccupied[l] / Π_{m<=l} OuterDims gives
+	// the probability that a partially-bound subtree is non-empty — the
+	// marginalized "∃ rest" terms of the traffic model (Eq. 5/14/15).
+	PrefixOccupied []int
+	// Order is the level order the prefixes follow (axis per level).
+	Order []int
+	// GroupOuter/GroupFP enumerate every non-empty tile at this shape:
+	// outer coordinates in axis order and the calibrated footprint. They
+	// power the model's exact cross-operand refinement (DESIGN.md §4).
+	GroupOuter [][]int32
+	GroupFP    []float64
+}
+
+// PPrefix returns the probability that a subtree bound at levels 0..l is
+// non-empty: PrefixOccupied[l] / Π_{m<=l} N_m.
+func (sh *ShapeStats) PPrefix(l int) float64 {
+	if l < 0 {
+		return 1
+	}
+	dom := 1.0
+	for m := 0; m <= l; m++ {
+		dom *= float64(sh.OuterDims[sh.Order[m]])
+	}
+	if dom == 0 {
+		return 0
+	}
+	return float64(sh.PrefixOccupied[l]) / dom
+}
+
+// EvalShape aggregates the micro summary into tiles of the given
+// per-axis dimensions, which must be positive multiples of the micro tile
+// dimensions. Footprints are summed over members, a slight overestimate
+// of a retiled CSF's footprint (shared upper-level metadata), consistent
+// across candidates.
+func (s *Stats) EvalShape(tileDims []int) (*ShapeStats, error) {
+	ms := s.micro
+	if ms == nil {
+		return nil, fmt.Errorf("stats: no micro summary collected")
+	}
+	n := len(ms.dims)
+	if len(tileDims) != n {
+		return nil, fmt.Errorf("stats: %d tile dims for order-%d tensor", len(tileDims), n)
+	}
+	factors := make([]int, n)
+	for a, td := range tileDims {
+		if td < 1 {
+			return nil, fmt.Errorf("stats: tile dim %d on axis %d", td, a)
+		}
+		if td%ms.microDims[a] != 0 {
+			return nil, fmt.Errorf("stats: tile dim %d on axis %d is not a multiple of micro dim %d",
+				td, a, ms.microDims[a])
+		}
+		factors[a] = td / ms.microDims[a]
+	}
+
+	out := &ShapeStats{
+		TileDims:  append([]int(nil), tileDims...),
+		OuterDims: make([]int, n),
+		Marginal:  make([]float64, n),
+		Occupied:  make([]int, n),
+	}
+	area := 1.0
+	for a := range out.OuterDims {
+		out.OuterDims[a] = (ms.dims[a] + tileDims[a] - 1) / tileDims[a]
+		area *= float64(tileDims[a])
+	}
+
+	type agg struct {
+		nnz, fp int
+	}
+	groups := make(map[uint64]*agg, len(ms.keys)/2+1)
+	axisOcc := make([]map[int]struct{}, n)
+	prefixOcc := make([]map[uint64]struct{}, n)
+	for a := range axisOcc {
+		axisOcc[a] = make(map[int]struct{})
+		prefixOcc[a] = make(map[uint64]struct{})
+	}
+	oc := make([]int, n)
+	for idx, k := range ms.keys {
+		mc := tiling.Unkey(k, n)
+		for a := range oc {
+			oc[a] = mc[a] / factors[a]
+			axisOcc[a][oc[a]] = struct{}{}
+		}
+		var pk uint64
+		for l, ax := range s.Order {
+			pk = pk<<21 | uint64(oc[ax])
+			prefixOcc[l][pk] = struct{}{}
+		}
+		gk := tiling.Key(oc)
+		g := groups[gk]
+		if g == nil {
+			g = &agg{}
+			groups[gk] = g
+		}
+		g.nnz += int(ms.nnz[idx])
+		g.fp += int(ms.footprint[idx])
+	}
+	out.Order = append([]int(nil), s.Order...)
+	out.PrefixOccupied = make([]int, n)
+	for l := range prefixOcc {
+		out.PrefixOccupied[l] = len(prefixOcc[l])
+	}
+
+	out.NumTiles = len(groups)
+	totalFP, totalNNZ := 0, 0
+	keys := make([]uint64, 0, len(groups))
+	for gk := range groups {
+		keys = append(keys, gk)
+	}
+	sort.Slice(keys, func(x, y int) bool { return keys[x] < keys[y] })
+	out.GroupOuter = make([][]int32, 0, len(groups))
+	out.GroupFP = make([]float64, 0, len(groups))
+	for _, gk := range keys {
+		g := groups[gk]
+		totalFP += g.fp
+		totalNNZ += g.nnz
+		if g.fp > out.MaxTile {
+			out.MaxTile = g.fp
+		}
+		dec := tiling.Unkey(gk, n)
+		oc32 := make([]int32, n)
+		for a := range dec {
+			oc32[a] = int32(dec[a])
+		}
+		out.GroupOuter = append(out.GroupOuter, oc32)
+		out.GroupFP = append(out.GroupFP, float64(g.fp))
+	}
+	if out.NumTiles > 0 {
+		out.MaxTileBound = out.MaxTile
+		out.SizeTile = ms.fpScale * float64(totalFP) / float64(out.NumTiles)
+		out.MaxTile = int(ms.fpScale * float64(out.MaxTile))
+		out.MeanNNZ = float64(totalNNZ) / float64(out.NumTiles)
+		out.Density = out.MeanNNZ / area
+		for i := range out.GroupFP {
+			out.GroupFP[i] *= ms.fpScale
+		}
+	}
+	domain := 1.0
+	for _, d := range out.OuterDims {
+		domain *= float64(d)
+	}
+	if domain > 0 {
+		out.PTile = float64(out.NumTiles) / domain
+	}
+	for a := 0; a < n; a++ {
+		out.Occupied[a] = len(axisOcc[a])
+		if out.OuterDims[a] > 0 {
+			out.Marginal[a] = float64(len(axisOcc[a])) / float64(out.OuterDims[a])
+		}
+	}
+	return out, nil
+}
+
+// MicroDims returns the micro tile dimensions candidate shapes must be
+// multiples of.
+func (s *Stats) MicroDims() []int {
+	if s.micro == nil {
+		return nil
+	}
+	return append([]int(nil), s.micro.microDims...)
+}
+
+// SnapToMicro rounds each tile dimension to the nearest positive multiple
+// of the micro dimension, clamped to the tensor dimension rounded up to a
+// micro multiple.
+func (s *Stats) SnapToMicro(tileDims []int) []int {
+	out := make([]int, len(tileDims))
+	for a, td := range tileDims {
+		m := s.micro.microDims[a]
+		q := (td + m/2) / m
+		if q < 1 {
+			q = 1
+		}
+		maxQ := (s.Dims[a] + m - 1) / m
+		if q > maxQ {
+			q = maxQ
+		}
+		out[a] = q * m
+	}
+	return out
+}

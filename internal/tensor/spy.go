@@ -1,0 +1,57 @@
+package tensor
+
+import "strings"
+
+// Spy renders an ASCII occupancy plot of a matrix, the textual analogue
+// of MATLAB's spy(): the matrix is bucketed into a width×height grid and
+// each cell prints a glyph by occupancy density. Handy for eyeballing
+// the structural classes the tiling optimizer reacts to.
+func (t *COO) Spy(width, height int) string {
+	if t.Order() != 2 {
+		return "(spy requires a matrix)"
+	}
+	if width < 1 {
+		width = 1
+	}
+	if height < 1 {
+		height = 1
+	}
+	if width > t.Dims[1] {
+		width = t.Dims[1]
+	}
+	if height > t.Dims[0] {
+		height = t.Dims[0]
+	}
+	grid := make([]int, width*height)
+	maxCount := 0
+	for p := 0; p < t.NNZ(); p++ {
+		r := t.Crds[0][p] * height / t.Dims[0]
+		c := t.Crds[1][p] * width / t.Dims[1]
+		grid[r*width+c]++
+		if grid[r*width+c] > maxCount {
+			maxCount = grid[r*width+c]
+		}
+	}
+	glyphs := []byte(" .:+*#@")
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	for r := 0; r < height; r++ {
+		b.WriteByte('|')
+		for c := 0; c < width; c++ {
+			n := grid[r*width+c]
+			if n == 0 {
+				b.WriteByte(' ')
+				continue
+			}
+			// Log-ish bucketing so light cells stay visible.
+			idx := 1
+			for threshold := 1; idx < len(glyphs)-1 && n > threshold; idx++ {
+				threshold *= 4
+			}
+			b.WriteByte(glyphs[idx])
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "+")
+	return b.String()
+}

@@ -1,0 +1,327 @@
+package tensor
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAndBasics(t *testing.T) {
+	m := New(3, 4)
+	if m.Order() != 2 || m.NNZ() != 0 {
+		t.Fatalf("fresh tensor: order=%d nnz=%d", m.Order(), m.NNZ())
+	}
+	m.Append([]int{0, 1}, 2)
+	m.Append([]int{2, 3}, -1)
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2", m.NNZ())
+	}
+	if got := m.At(1); got[0] != 2 || got[1] != 3 {
+		t.Fatalf("At(1) = %v", got)
+	}
+	if d := m.Density(); d != 2.0/12 {
+		t.Fatalf("density = %v", d)
+	}
+}
+
+func TestAppendPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range coordinate")
+		}
+	}()
+	m := New(2, 2)
+	m.Append([]int{0, 2}, 1)
+}
+
+func TestAppendPanicsArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong arity")
+		}
+	}()
+	m := New(2, 2)
+	m.Append([]int{0}, 1)
+}
+
+func TestSortNatural(t *testing.T) {
+	m := New(4, 4)
+	m.Append([]int{3, 0}, 1)
+	m.Append([]int{0, 2}, 2)
+	m.Append([]int{0, 1}, 3)
+	m.Append([]int{2, 2}, 4)
+	m.Sort(nil)
+	want := [][2]int{{0, 1}, {0, 2}, {2, 2}, {3, 0}}
+	for p, w := range want {
+		if m.Crds[0][p] != w[0] || m.Crds[1][p] != w[1] {
+			t.Fatalf("entry %d = (%d,%d), want %v", p, m.Crds[0][p], m.Crds[1][p], w)
+		}
+	}
+	if m.Vals[0] != 3 || m.Vals[3] != 1 {
+		t.Fatalf("values not permuted with coordinates: %v", m.Vals)
+	}
+}
+
+func TestSortCustomOrder(t *testing.T) {
+	m := New(3, 3)
+	m.Append([]int{0, 2}, 1)
+	m.Append([]int{1, 0}, 2)
+	m.Append([]int{2, 1}, 3)
+	m.Sort([]int{1, 0}) // column-major
+	wantCols := []int{0, 1, 2}
+	for p, w := range wantCols {
+		if m.Crds[1][p] != w {
+			t.Fatalf("col-major sort: entry %d col=%d want %d", p, m.Crds[1][p], w)
+		}
+	}
+}
+
+func TestDedupSums(t *testing.T) {
+	m := New(2, 2)
+	m.Append([]int{1, 1}, 2)
+	m.Append([]int{0, 0}, 1)
+	m.Append([]int{1, 1}, 3)
+	m.Append([]int{1, 1}, -1)
+	m.Dedup()
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz after dedup = %d, want 2", m.NNZ())
+	}
+	d := m.ToDense()
+	if d[0][0] != 1 || d[1][1] != 4 {
+		t.Fatalf("dedup values wrong: %v", d)
+	}
+}
+
+func TestDedupEmptyAndSingle(t *testing.T) {
+	m := New(2, 2)
+	m.Dedup()
+	if m.NNZ() != 0 {
+		t.Fatal("empty dedup changed nnz")
+	}
+	m.Append([]int{1, 0}, 5)
+	m.Dedup()
+	if m.NNZ() != 1 || m.Vals[0] != 5 {
+		t.Fatal("single-entry dedup broke the entry")
+	}
+}
+
+func TestPermuteTranspose(t *testing.T) {
+	m := New(2, 3)
+	m.Append([]int{0, 2}, 7)
+	mt := m.Transpose()
+	if mt.Dims[0] != 3 || mt.Dims[1] != 2 {
+		t.Fatalf("transpose dims = %v", mt.Dims)
+	}
+	if mt.Crds[0][0] != 2 || mt.Crds[1][0] != 0 {
+		t.Fatalf("transpose coords = (%d,%d)", mt.Crds[0][0], mt.Crds[1][0])
+	}
+	// Round trip.
+	if !Equal(m, mt.Transpose()) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestPermute3(t *testing.T) {
+	m := New(2, 3, 4)
+	m.Append([]int{1, 2, 3}, 9)
+	p := m.Permute(2, 0, 1)
+	if p.Dims[0] != 4 || p.Dims[1] != 2 || p.Dims[2] != 3 {
+		t.Fatalf("permuted dims = %v", p.Dims)
+	}
+	c := p.At(0)
+	if c[0] != 3 || c[1] != 1 || c[2] != 2 {
+		t.Fatalf("permuted coord = %v", c)
+	}
+}
+
+func TestFromToDense(t *testing.T) {
+	d := [][]float64{{1, 0, 2}, {0, 0, 0}, {3, 4, 0}}
+	m := FromDense(d)
+	if m.NNZ() != 4 {
+		t.Fatalf("nnz = %d, want 4", m.NNZ())
+	}
+	back := m.ToDense()
+	for i := range d {
+		for j := range d[i] {
+			if back[i][j] != d[i][j] {
+				t.Fatalf("dense round trip mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := New(2, 2)
+	m.Append([]int{1, 1}, 1)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid tensor rejected: %v", err)
+	}
+	m.Crds[0] = m.Crds[0][:0]
+	if err := m.Validate(); err == nil {
+		t.Fatal("corrupted tensor accepted")
+	}
+	m2 := New(2, 2)
+	m2.Crds[0] = []int{5}
+	m2.Crds[1] = []int{0}
+	m2.Vals = []float64{1}
+	if err := m2.Validate(); err == nil {
+		t.Fatal("out-of-range coordinate accepted")
+	}
+}
+
+func TestDropAxis(t *testing.T) {
+	m := New(2, 3, 4)
+	m.Append([]int{0, 1, 2}, 1)
+	m.Append([]int{0, 1, 3}, 2) // collides with previous when axis 2 dropped
+	m.Append([]int{1, 2, 0}, 5)
+	d := m.DropAxis(2)
+	if d.Order() != 2 || d.Dims[0] != 2 || d.Dims[1] != 3 {
+		t.Fatalf("dropped dims = %v", d.Dims)
+	}
+	dense := d.ToDense()
+	if dense[0][1] != 3 || dense[1][2] != 5 {
+		t.Fatalf("DropAxis values wrong: %v", dense)
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	a := New(2, 2)
+	a.Append([]int{0, 0}, 1)
+	b := New(2, 2)
+	b.Append([]int{0, 0}, 2)
+	if Equal(a, b) {
+		t.Fatal("Equal ignored value difference")
+	}
+	c := New(2, 3)
+	if Equal(a, c) {
+		t.Fatal("Equal ignored dims difference")
+	}
+}
+
+// randomCOO builds a random matrix for property tests.
+func randomCOO(r *rand.Rand, dim, nnz int) *COO {
+	m := New(dim, dim)
+	for i := 0; i < nnz; i++ {
+		m.Append([]int{r.Intn(dim), r.Intn(dim)}, float64(r.Intn(9)+1))
+	}
+	return m
+}
+
+func TestQuickDedupIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomCOO(r, 16, 40)
+		m.Dedup()
+		n := m.NNZ()
+		snapshot := m.Clone()
+		m.Dedup()
+		return m.NNZ() == n && Equal(m, snapshot)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSortPreservesMultiset(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomCOO(r, 12, 30)
+		sum := 0.0
+		for _, v := range m.Vals {
+			sum += v
+		}
+		m.Sort([]int{1, 0})
+		sum2 := 0.0
+		for _, v := range m.Vals {
+			sum2 += v
+		}
+		return sum == sum2 && m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPermuteRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := New(6, 7, 8)
+		for i := 0; i < 25; i++ {
+			m.Append([]int{r.Intn(6), r.Intn(7), r.Intn(8)}, 1)
+		}
+		p := m.Permute(2, 0, 1).Permute(1, 2, 0)
+		return Equal(m, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpy(t *testing.T) {
+	m := New(100, 100)
+	for i := 0; i < 100; i++ {
+		m.Append([]int{i, i}, 1)
+	}
+	out := m.Spy(20, 10)
+	lines := strings.Split(out, "\n")
+	if len(lines) != 12 { // border + 10 rows + border
+		t.Fatalf("spy has %d lines", len(lines))
+	}
+	// Diagonal: every row has exactly some non-space glyph, roughly on
+	// the diagonal.
+	for r := 1; r <= 10; r++ {
+		if !strings.ContainsAny(lines[r], ".:+*#@") {
+			t.Fatalf("row %d empty: %q", r, lines[r])
+		}
+	}
+	// Empty corner must be blank.
+	if lines[1][15] != ' ' {
+		t.Fatalf("corner not blank: %q", lines[1])
+	}
+	// Non-matrix fallback.
+	if out := New(2, 2, 2).Spy(4, 4); !strings.Contains(out, "matrix") {
+		t.Fatal("3-tensor spy should refuse")
+	}
+}
+
+func TestDegreeOrderAndRelabel(t *testing.T) {
+	m := New(4, 4)
+	// Column 2 is the hub (3 entries), column 0 has 1.
+	m.Append([]int{0, 2}, 1)
+	m.Append([]int{1, 2}, 1)
+	m.Append([]int{3, 2}, 1)
+	m.Append([]int{2, 0}, 1)
+	perm := m.DegreeOrder(1)
+	if perm[0] != 2 {
+		t.Fatalf("hub column not first: %v", perm)
+	}
+	r := m.Relabel(1, perm)
+	// The hub is now column 0.
+	cnt := 0
+	for p := 0; p < r.NNZ(); p++ {
+		if r.Crds[1][p] == 0 {
+			cnt++
+		}
+	}
+	if cnt != 3 {
+		t.Fatalf("relabel did not move hub: %v", r.Crds)
+	}
+	// Relabeling is a bijection: nnz preserved, valid.
+	if r.NNZ() != m.NNZ() || r.Validate() != nil {
+		t.Fatal("relabel broke the tensor")
+	}
+	// Identity permutation round trip.
+	back := r.Relabel(1, invert(perm))
+	if !Equal(m, back) {
+		t.Fatal("relabel round trip failed")
+	}
+}
+
+func invert(perm []int) []int {
+	inv := make([]int, len(perm))
+	for n, o := range perm {
+		inv[o] = n
+	}
+	return inv
+}

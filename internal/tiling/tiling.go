@@ -1,0 +1,346 @@
+// Package tiling partitions sparse tensors in the coordinate space:
+// every tensor axis a is split into tiles of size TileDims[a], producing a
+// doubled index space of outer (tile) and inner (within-tile) coordinates
+// — the A[i,k] → A[i',k',i,k] transformation of the paper (§2.2). A tiled
+// tensor stores one inner CSF per non-empty tile plus an outer CSF over
+// tile coordinates; tile footprints (values + metadata words) define the
+// traffic unit.
+package tiling
+
+import (
+	"fmt"
+	"sort"
+
+	"d2t2/internal/formats"
+	"d2t2/internal/tensor"
+)
+
+// keyShift packs outer coordinates into a uint64 key, 21 bits per axis
+// (sufficient for > 2M tiles per axis, far above anything we tile).
+const keyShift = 21
+
+// Key encodes outer tile coordinates (in axis order) as a map key.
+func Key(outer []int) uint64 {
+	var k uint64
+	for _, c := range outer {
+		k = k<<keyShift | uint64(c)
+	}
+	return k
+}
+
+// Unkey decodes a key produced by Key back into n outer coordinates.
+func Unkey(k uint64, n int) []int {
+	out := make([]int, n)
+	for a := n - 1; a >= 0; a-- {
+		out[a] = int(k & (1<<keyShift - 1))
+		k >>= keyShift
+	}
+	return out
+}
+
+// Tile is one non-empty coordinate-space tile: its outer coordinates (in
+// original axis order) and the CSF over its inner coordinates (in the
+// tensor's level order).
+type Tile struct {
+	Outer     []int
+	CSF       *formats.CSF
+	Footprint int // words: values + all segment and coordinate arrays
+	// Members is non-nil only for packed super-tiles (see PackTiles): the
+	// base tiles indexed through the packed directory. CSF is nil then.
+	Members []*Tile
+}
+
+// NNZ returns the number of stored values in the tile (summed over
+// members for packed tiles).
+func (t *Tile) NNZ() int {
+	if t.Members != nil {
+		n := 0
+		for _, m := range t.Members {
+			n += m.NNZ()
+		}
+		return n
+	}
+	return t.CSF.NNZ()
+}
+
+// TiledTensor is a sparse tensor partitioned into coordinate-space tiles.
+type TiledTensor struct {
+	Dims      []int // original dimension sizes, axis order
+	TileDims  []int // tile size per axis
+	OuterDims []int // ceil(Dims/TileDims) per axis
+	// Order is the level order used for both the outer CSF and each inner
+	// CSF: Order[l] is the axis stored at level l (the dataflow order).
+	Order []int
+	// Tiles maps Key(outer coords in axis order) to the tile.
+	Tiles map[uint64]*Tile
+	// OuterCSF is the CSF over outer tile coordinates in Order; its leaf
+	// values are the tile footprints in words.
+	OuterCSF *formats.CSF
+	// PackedFrom is the member tile size per axis for packed tensors
+	// built by PackTiles (nil for directly tiled tensors).
+	PackedFrom []int
+
+	TotalFootprint int
+	MaxFootprint   int
+	NNZ            int
+}
+
+// NumTiles returns the number of non-empty tiles.
+func (tt *TiledTensor) NumTiles() int { return len(tt.Tiles) }
+
+// MeanFootprint is the paper's SizeTile: average footprint over non-empty
+// tiles.
+func (tt *TiledTensor) MeanFootprint() float64 {
+	if len(tt.Tiles) == 0 {
+		return 0
+	}
+	return float64(tt.TotalFootprint) / float64(len(tt.Tiles))
+}
+
+// Lookup returns the tile at the given outer coordinates, or nil.
+func (tt *TiledTensor) Lookup(outer ...int) *Tile {
+	return tt.Tiles[Key(outer)]
+}
+
+// SortedKeys returns tile keys sorted by outer coordinates in Order
+// (useful for deterministic iteration).
+func (tt *TiledTensor) SortedKeys() []uint64 {
+	keys := make([]uint64, 0, len(tt.Tiles))
+	for k := range tt.Tiles {
+		keys = append(keys, k)
+	}
+	n := len(tt.Dims)
+	sort.Slice(keys, func(a, b int) bool {
+		ca, cb := Unkey(keys[a], n), Unkey(keys[b], n)
+		for _, ax := range tt.Order {
+			if ca[ax] != cb[ax] {
+				return ca[ax] < cb[ax]
+			}
+		}
+		return false
+	})
+	return keys
+}
+
+// Tile partitions t into coordinate-space tiles of size tileDims (per
+// axis) with inner/outer CSF levels following order (nil = natural).
+// The input must be duplicate-free (Dedup'd); entries are not modified.
+func New(t *tensor.COO, tileDims []int, order []int) (*TiledTensor, error) {
+	n := t.Order()
+	if len(tileDims) != n {
+		return nil, fmt.Errorf("tiling: %d tile dims for order-%d tensor", len(tileDims), n)
+	}
+	if order == nil {
+		order = make([]int, n)
+		for a := range order {
+			order[a] = a
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("tiling: order arity %d != %d", len(order), n)
+	}
+	for a, td := range tileDims {
+		if td < 1 {
+			return nil, fmt.Errorf("tiling: tile dim %d on axis %d", td, a)
+		}
+		if (t.Dims[a]+td-1)/td > 1<<keyShift {
+			return nil, fmt.Errorf("tiling: axis %d produces too many tiles", a)
+		}
+	}
+
+	tt := &TiledTensor{
+		Dims:      append([]int(nil), t.Dims...),
+		TileDims:  append([]int(nil), tileDims...),
+		OuterDims: make([]int, n),
+		Order:     append([]int(nil), order...),
+		Tiles:     make(map[uint64]*Tile),
+		NNZ:       t.NNZ(),
+	}
+	for a := range tt.OuterDims {
+		tt.OuterDims[a] = (t.Dims[a] + tileDims[a] - 1) / tileDims[a]
+	}
+
+	nnz := t.NNZ()
+	// Precompute outer and inner coordinates per entry, in level order.
+	outer := make([][]int32, n)
+	inner := make([][]int32, n)
+	for l, ax := range order {
+		o := make([]int32, nnz)
+		in := make([]int32, nnz)
+		td := tileDims[ax]
+		src := t.Crds[ax]
+		for p := 0; p < nnz; p++ {
+			o[p] = int32(src[p] / td)
+			in[p] = int32(src[p] % td)
+		}
+		outer[l] = o
+		inner[l] = in
+	}
+
+	idx := make([]int, nnz)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		p, q := idx[x], idx[y]
+		for l := 0; l < n; l++ {
+			if outer[l][p] != outer[l][q] {
+				return outer[l][p] < outer[l][q]
+			}
+		}
+		for l := 0; l < n; l++ {
+			if inner[l][p] != inner[l][q] {
+				return inner[l][p] < inner[l][q]
+			}
+		}
+		return false
+	})
+
+	innerDims := make([]int, n)
+	for l, ax := range order {
+		innerDims[l] = tileDims[ax]
+	}
+
+	// Scan runs of identical outer coordinates, building one inner CSF
+	// per run from the pre-sorted entries.
+	sameOuter := func(p, q int) bool {
+		for l := 0; l < n; l++ {
+			if outer[l][p] != outer[l][q] {
+				return false
+			}
+		}
+		return true
+	}
+	runCrds := make([][]int32, n)
+	buildRun := func(lo, hi int) {
+		for l := 0; l < n; l++ {
+			col := make([]int32, 0, hi-lo)
+			for x := lo; x < hi; x++ {
+				col = append(col, inner[l][idx[x]])
+			}
+			runCrds[l] = col
+		}
+		vals := make([]float64, 0, hi-lo)
+		for x := lo; x < hi; x++ {
+			vals = append(vals, t.Vals[idx[x]])
+		}
+		csf := formats.BuildSortedUnique(innerDims, order, runCrds, vals)
+		oc := make([]int, n)
+		p0 := idx[lo]
+		for l, ax := range order {
+			oc[ax] = int(outer[l][p0])
+		}
+		tile := &Tile{Outer: oc, CSF: csf, Footprint: csf.FootprintWords()}
+		tt.Tiles[Key(oc)] = tile
+		tt.TotalFootprint += tile.Footprint
+		if tile.Footprint > tt.MaxFootprint {
+			tt.MaxFootprint = tile.Footprint
+		}
+	}
+	lo := 0
+	for p := 1; p <= nnz; p++ {
+		if p == nnz || !sameOuter(idx[p], idx[lo]) {
+			buildRun(lo, p)
+			lo = p
+		}
+	}
+
+	tt.buildOuterCSF()
+	return tt, nil
+}
+
+// buildOuterCSF constructs the CSF over outer tile coordinates whose leaf
+// values are tile footprints.
+func (tt *TiledTensor) buildOuterCSF() {
+	oc := tensor.New(tt.OuterDims...)
+	for _, k := range tt.SortedKeys() {
+		tile := tt.Tiles[k]
+		oc.Append(tile.Outer, float64(tile.Footprint))
+	}
+	tt.OuterCSF = formats.Build(oc, tt.Order)
+}
+
+// ToCOO reassembles the original tensor from the tiles (for testing).
+func (tt *TiledTensor) ToCOO() *tensor.COO {
+	out := tensor.New(tt.Dims...)
+	coord := make([]int, len(tt.Dims))
+	for _, tile := range tt.Tiles {
+		sub := tile.CSF.ToCOO() // axis order restored by CSF
+		for p := 0; p < sub.NNZ(); p++ {
+			for a := range coord {
+				coord[a] = tile.Outer[a]*tt.TileDims[a] + sub.Crds[a][p]
+			}
+			out.Append(coord, sub.Vals[p])
+		}
+	}
+	return out
+}
+
+// Validate checks the tiled tensor's internal invariants: outer
+// coordinates within the outer grid, per-tile footprints consistent with
+// their CSFs, aggregate totals matching, and nnz conservation. Intended
+// for tests and debugging.
+func (tt *TiledTensor) Validate() error {
+	total, max, nnz := 0, 0, 0
+	for k, tile := range tt.Tiles {
+		dec := Unkey(k, len(tt.Dims))
+		for a := range dec {
+			if dec[a] != tile.Outer[a] {
+				return fmt.Errorf("tiling: key %v does not match outer %v", dec, tile.Outer)
+			}
+			if tile.Outer[a] < 0 || tile.Outer[a] >= tt.OuterDims[a] {
+				return fmt.Errorf("tiling: outer coordinate %v out of grid %v", tile.Outer, tt.OuterDims)
+			}
+		}
+		if tile.Members == nil {
+			if got := tile.CSF.FootprintWords(); got != tile.Footprint {
+				return fmt.Errorf("tiling: tile %v footprint %d != CSF %d", tile.Outer, tile.Footprint, got)
+			}
+		}
+		total += tile.Footprint
+		if tile.Footprint > max {
+			max = tile.Footprint
+		}
+		nnz += tile.NNZ()
+	}
+	if total != tt.TotalFootprint || max != tt.MaxFootprint {
+		return fmt.Errorf("tiling: aggregate footprints %d/%d != recorded %d/%d",
+			total, max, tt.TotalFootprint, tt.MaxFootprint)
+	}
+	if nnz != tt.NNZ {
+		return fmt.Errorf("tiling: tiles hold %d entries, tensor recorded %d", nnz, tt.NNZ)
+	}
+	return nil
+}
+
+// DenseFootprintWords returns the CSF footprint of a completely dense tile
+// with the given per-level dimensions: the worst case the Conservative
+// scheme provisions for.
+func DenseFootprintWords(tileDims []int) int {
+	words := 0
+	prod := 1
+	for _, d := range tileDims {
+		// Each level stores prod*d coordinates and prod+1 segment bounds.
+		words += prod*d + prod + 1
+		prod *= d
+	}
+	words += prod // values
+	return words
+}
+
+// ConservativeSquare returns the largest square tile size (power of two)
+// whose fully dense footprint fits in bufferWords, for a tensor of the
+// given order. This is the paper's Conservative scheme tile dimension.
+func ConservativeSquare(bufferWords, order int) int {
+	t := 1
+	for {
+		dims := make([]int, order)
+		for a := range dims {
+			dims[a] = t * 2
+		}
+		if DenseFootprintWords(dims) > bufferWords {
+			return t
+		}
+		t *= 2
+	}
+}

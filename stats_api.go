@@ -1,0 +1,100 @@
+package d2t2
+
+import (
+	"d2t2/internal/einsum"
+	"d2t2/internal/model"
+	"d2t2/internal/stats"
+)
+
+// StatsSummary exposes the Tile Statistics Collector's outputs for one
+// tensor at a conservative square tiling (paper §4.3–4.4).
+type StatsSummary struct {
+	// SizeTile is the mean tile footprint in words; MaxTile the maximum;
+	// NumTiles the non-empty tile count.
+	SizeTile float64
+	MaxTile  int
+	NumTiles int
+	// PrTileIdx are the per-outer-level conditional occupancy
+	// probabilities; ProbIndex the per-inner-level fiber densities.
+	PrTileIdx []float64
+	ProbIndex []float64
+	// CorrSums holds, per axis, the sum of the Corrs shift-correlation
+	// over one tile — the output-reuse proxy thresholded in Fig. 8.
+	CorrSums []float64
+}
+
+// CollectStats tiles the tensor with square tiles of the given dimension
+// and returns the collected statistics.
+func CollectStats(t *Tensor, tile int) (*StatsSummary, error) {
+	dims := make([]int, t.Order())
+	for a := range dims {
+		dims[a] = tile
+		if dims[a] > t.coo.Dims[a] {
+			dims[a] = t.coo.Dims[a]
+		}
+	}
+	s, _, err := stats.Collect(t.coo, dims, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &StatsSummary{
+		SizeTile:  s.SizeTile,
+		MaxTile:   s.MaxTile,
+		NumTiles:  s.NumTiles,
+		PrTileIdx: append([]float64(nil), s.PrTileIdx...),
+		ProbIndex: append([]float64(nil), s.ProbIndex...),
+	}
+	for a := 0; a < t.Order(); a++ {
+		out.CorrSums = append(out.CorrSums, s.CorrSum(a, dims[a]))
+	}
+	return out, nil
+}
+
+// PredictConfig runs the probabilistic traffic model for one tile
+// configuration and returns the predicted total traffic in megabytes.
+// Statistics are collected at a conservative square tiling of dimension
+// statsTile.
+func PredictConfig(k *Kernel, inputs Inputs, cfg TileConfig, statsTile int) (float64, error) {
+	st, err := collectKernelStats(k.expr, inputs, statsTile)
+	if err != nil {
+		return 0, err
+	}
+	pred, err := model.New(k.expr, st)
+	if err != nil {
+		return 0, err
+	}
+	p, err := pred.Predict(model.Config(cfg))
+	if err != nil {
+		return 0, err
+	}
+	return p.Total() * 4 / (1 << 20), nil
+}
+
+func collectKernelStats(e *einsum.Expr, inputs Inputs, tile int) (map[string]*stats.Stats, error) {
+	out := make(map[string]*stats.Stats)
+	for _, ref := range e.Inputs() {
+		t, ok := inputs[ref.Name]
+		if !ok {
+			return nil, errMissing(ref.Name)
+		}
+		dims := make([]int, len(ref.Indices))
+		for a := range dims {
+			dims[a] = tile
+			if dims[a] > t.coo.Dims[a] {
+				dims[a] = t.coo.Dims[a]
+			}
+		}
+		s, _, err := stats.Collect(t.coo, dims, e.LevelOrder(ref), nil)
+		if err != nil {
+			return nil, err
+		}
+		out[ref.Name] = s
+	}
+	return out, nil
+}
+
+type missingError string
+
+func (e missingError) Error() string { return "d2t2: missing input tensor " + string(e) }
+
+func errMissing(name string) error { return missingError(name) }
