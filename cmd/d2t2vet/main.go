@@ -1,0 +1,105 @@
+// Command d2t2vet runs the repository's domain-specific static-analysis
+// suite (internal/analysis) over package patterns and exits non-zero on
+// findings. It is the CI gate next to go vet and the race detector:
+//
+//	go run ./cmd/d2t2vet ./...          # whole module
+//	go run ./cmd/d2t2vet -list          # what the suite checks
+//	go run ./cmd/d2t2vet -json ./...    # machine-readable findings
+//	go run ./cmd/d2t2vet -checks panicpolicy,coordwidth ./internal/formats
+//
+// Findings are suppressed with an annotation on the offending line or
+// the line above, with a justification:
+//
+//	//d2t2:ignore coordwidth coords < dims, validated by tensor.New
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"d2t2/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		listFlag   = flag.Bool("list", false, "list analyzers and exit")
+		jsonFlag   = flag.Bool("json", false, "emit findings as JSON")
+		checksFlag = flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	)
+	flag.Parse()
+
+	all := analysis.Analyzers()
+	if *listFlag {
+		for _, a := range all {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := all
+	if *checksFlag != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*checksFlag, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "d2t2vet: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "d2t2vet:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "d2t2vet:", err)
+		return 2
+	}
+	paths, err := loader.Expand(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "d2t2vet:", err)
+		return 2
+	}
+
+	var findings []analysis.Diagnostic
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "d2t2vet:", err)
+			return 2
+		}
+		findings = append(findings, analysis.Run(pkg, analyzers)...)
+	}
+
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "d2t2vet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range findings {
+			fmt.Println(d)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "d2t2vet: %d finding(s) in %d package(s)\n", len(findings), len(paths))
+		return 1
+	}
+	return 0
+}

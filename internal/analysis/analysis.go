@@ -1,0 +1,143 @@
+// Package analysis is a domain-specific static-analysis framework for
+// this repository, built against the standard library only (go/parser,
+// go/ast, go/types, go/token). It exists because D2T2's correctness
+// rests on invariants the Go compiler cannot see: CSF segment and
+// coordinate arrays must only be mutated by the format builders, traffic
+// counters must merge exactly under the parallel executor, and the
+// probabilistic model must stay deterministic so reproduced tables are
+// stable run-to-run.
+//
+// The framework loads packages from source (see Loader), runs a set of
+// Analyzers over each, and reports Diagnostics. A finding can be
+// suppressed with a justification comment on the same line or the line
+// directly above it:
+//
+//	//d2t2:ignore panicpolicy invariant check, callers pass literals
+//
+// cmd/d2t2vet wires every analyzer in Analyzers over ./... and exits
+// non-zero on findings; CI runs it next to go vet and the race detector.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding of one analyzer at one source position.
+type Diagnostic struct {
+	Check   string         `json:"check"`
+	Pos     token.Position `json:"pos"`
+	Message string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Pass carries one loaded package through one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Path is the import path the package was loaded under. Analyzers
+	// that scope themselves to parts of the tree (csfmutation,
+	// floatdeterminism) match on prefixes of this path.
+	Path string
+	Pkg  *types.Package
+	Info *types.Info
+
+	check string
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   p.check,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t, ok := p.Info.Types[e]; ok {
+		return t.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers lists every check in the suite, sorted by name.
+func Analyzers() []*Analyzer {
+	as := []*Analyzer{
+		CSFMutation,
+		FloatDeterminism,
+		CoordWidth,
+		GoroutineHygiene,
+		PanicPolicy,
+	}
+	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+	return as
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies the analyzers to a loaded package and returns the
+// surviving findings: diagnostics on lines carrying (or directly below)
+// a matching //d2t2:ignore comment are dropped. Findings are sorted by
+// position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:  pkg.Fset,
+			Files: pkg.Files,
+			Path:  pkg.Path,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+			check: a.Name,
+			diags: &diags,
+		}
+		a.Run(pass)
+	}
+	ig := collectIgnores(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ig.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return kept
+}

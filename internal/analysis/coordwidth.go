@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"math"
+)
+
+// CoordWidth flags lossy integer narrowing into the int32 coordinate
+// width without a visible bounds guard. Tile coordinates, segment
+// pointers and fiber positions are stored as int32 throughout the
+// formats; an unchecked int→int32 conversion on a large tensor silently
+// wraps and corrupts the trie instead of failing. A conversion is
+// accepted when it is constant and in range, when the enclosing function
+// visibly guards against math.MaxInt32, or when it goes through
+// internal/checked (which panics on overflow instead of wrapping).
+var CoordWidth = &Analyzer{
+	Name: "coordwidth",
+	Doc:  "flags unguarded narrowing conversions to the int32 coordinate width",
+	Run:  runCoordWidth,
+}
+
+func runCoordWidth(p *Pass) {
+	for _, f := range p.Files {
+		var fns []ast.Node // enclosing FuncDecl/FuncLit stack
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				fns = append(fns, e)
+				var body *ast.BlockStmt
+				if fd, ok := e.(*ast.FuncDecl); ok {
+					body = fd.Body
+				} else {
+					body = e.(*ast.FuncLit).Body
+				}
+				if body != nil {
+					ast.Inspect(body, walk)
+				}
+				fns = fns[:len(fns)-1]
+				return false
+			case *ast.CallExpr:
+				p.checkNarrowing(e, fns)
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+}
+
+func (p *Pass) checkNarrowing(call *ast.CallExpr, fns []ast.Node) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	switch dst.Kind() {
+	case types.Int32, types.Int16, types.Int8:
+	default:
+		return
+	}
+	arg := call.Args[0]
+	at := p.TypeOf(arg)
+	if at == nil {
+		return
+	}
+	src, ok := at.Underlying().(*types.Basic)
+	if !ok || src.Info()&types.IsInteger == 0 {
+		return
+	}
+	if narrowOK(src.Kind(), dst.Kind()) {
+		return
+	}
+	// Constants that provably fit are fine.
+	if av, ok := p.Info.Types[arg]; ok && av.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(av.Value)); exact && fits(v, dst.Kind()) {
+			return
+		}
+	}
+	// A function that visibly compares against math.MaxInt32 (or the
+	// narrower bounds) is treated as guarded: the idiom is one range
+	// check at entry covering the conversions below it.
+	for i := len(fns) - 1; i >= 0; i-- {
+		if p.mentionsBoundsGuard(fns[i]) {
+			return
+		}
+	}
+	p.Reportf(call.Pos(), "unguarded narrowing of %s to %s can silently wrap on large tensors; use checked.Int32 or guard against math.MaxInt32", src.Name(), dst.Name())
+}
+
+// narrowOK reports conversions that cannot lose a value in range.
+func narrowOK(src, dst types.BasicKind) bool {
+	width := func(k types.BasicKind) int {
+		switch k {
+		case types.Int8, types.Uint8:
+			return 8
+		case types.Int16, types.Uint16:
+			return 16
+		case types.Int32, types.Uint32:
+			return 32
+		default:
+			return 64
+		}
+	}
+	return width(src) < width(dst) || (width(src) == width(dst) && src == dst)
+}
+
+func fits(v int64, k types.BasicKind) bool {
+	switch k {
+	case types.Int32:
+		return v >= math.MinInt32 && v <= math.MaxInt32
+	case types.Int16:
+		return v >= math.MinInt16 && v <= math.MaxInt16
+	case types.Int8:
+		return v >= math.MinInt8 && v <= math.MaxInt8
+	}
+	return false
+}
+
+// mentionsBoundsGuard reports whether the function syntactically
+// references math.MaxInt32/MaxInt16/MaxInt8 (the visible guard idiom).
+func (p *Pass) mentionsBoundsGuard(fn ast.Node) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "MaxInt32", "MaxInt16", "MaxInt8":
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "math" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// floatDetPrefixes scope the determinism checks to the packages whose
+// outputs land in EXPERIMENTS.md tables: the probabilistic model, the
+// optimizer that searches over its predictions, and the experiment
+// harness itself.
+var floatDetPrefixes = []string{
+	"d2t2/internal/model",
+	"d2t2/internal/optimizer",
+	"d2t2/internal/experiments",
+}
+
+// FloatDeterminism flags constructs that make reproduced tables unstable
+// run-to-run: exact ==/!= on floating-point operands, package-global
+// math/rand use (unseeded, and racy under the parallel executor), and
+// map iteration flowing straight into output rows without an
+// intervening sort.
+var FloatDeterminism = &Analyzer{
+	Name: "floatdeterminism",
+	Doc:  "flags float ==/!=, global math/rand use and unsorted map iteration into output rows in model, optimizer and experiments",
+	Run:  runFloatDeterminism,
+}
+
+func runFloatDeterminism(p *Pass) {
+	inScope := false
+	for _, prefix := range floatDetPrefixes {
+		if p.Path == prefix || strings.HasPrefix(p.Path, prefix+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if (e.Op == token.EQL || e.Op == token.NEQ) && (isFloat(p.TypeOf(e.X)) || isFloat(p.TypeOf(e.Y))) {
+					p.Reportf(e.OpPos, "exact %s on floating-point operands is not reproducible across compilers and reassociation; compare with a tolerance or restructure", e.Op)
+				}
+			case *ast.SelectorExpr:
+				if obj := p.Info.Uses[e.Sel]; obj != nil && isGlobalRandFunc(obj) {
+					p.Reportf(e.Pos(), "package-global math/rand.%s is unseeded and racy under the parallel executor; thread an explicit *rand.Rand with a fixed seed", e.Sel.Name)
+				}
+			case *ast.RangeStmt:
+				p.checkMapRangeIntoRows(e)
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isGlobalRandFunc reports whether obj is a package-level function of
+// math/rand other than the explicit-generator constructors.
+func isGlobalRandFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false // methods on *rand.Rand are fine
+	}
+	switch fn.Name() {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return false
+	}
+	return true
+}
+
+// checkMapRangeIntoRows flags `for k := range m { ... tbl.Append(...) }`
+// where m is a map: iteration order is randomized, so rows land in a
+// different order every run. Sorting the keys into a slice first makes
+// the range a slice range and the pattern disappears.
+func (p *Pass) checkMapRangeIntoRows(r *ast.RangeStmt) {
+	t := p.TypeOf(r.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Append" {
+			return true
+		}
+		recv := p.TypeOf(sel.X)
+		if recv == nil || namedTypeName(recv) != "Table" {
+			return true
+		}
+		p.Reportf(call.Pos(), "Table.Append inside map iteration emits rows in randomized order; sort the keys into a slice first")
+		return true
+	})
+}
+
+func namedTypeName(t types.Type) string {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineHygiene flags two launch patterns that have bitten parallel
+// tiled execution before: goroutines that carry no join signal (no
+// WaitGroup Done, no channel send/close — their completion is
+// unobservable, so counters they produce may be read before they merge)
+// and writes to maps captured from the enclosing scope (the Go runtime
+// only detects those under -race, and only on the schedules the test
+// happens to explore). The exact-merge contract of
+// internal/exec/parallel.go is the motivating case: every worker must
+// write into worker-private state and be joined before the merge loop.
+var GoroutineHygiene = &Analyzer{
+	Name: "goroutinehygiene",
+	Doc:  "flags unjoined goroutine launches and captured-map writes inside goroutines",
+	Run:  runGoroutineHygiene,
+}
+
+func runGoroutineHygiene(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				// go namedFunc(...): the body is elsewhere; require the
+				// join signal at the call site via a waited group or a
+				// channel in the argument list.
+				if !p.hasChannelArg(g.Call) {
+					p.Reportf(g.Pos(), "goroutine launched without a visible join (no func literal with WaitGroup/channel signal, no channel argument); completion is unobservable")
+				}
+				return true
+			}
+			if !p.hasJoinSignal(lit) {
+				p.Reportf(g.Pos(), "goroutine has no join signal (sync.WaitGroup Done, channel send or close); its completion cannot be awaited")
+			}
+			p.checkCapturedMapWrites(lit)
+			return true
+		})
+	}
+}
+
+// hasJoinSignal reports whether the goroutine body publishes its
+// completion: a Done/Add(-1) call on a sync.WaitGroup, a channel send,
+// or a close of a channel.
+func (p *Pass) hasJoinSignal(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "close" {
+				found = true
+				return false
+			}
+			sel, ok := e.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name == "Done" || sel.Sel.Name == "Add" {
+				if t := p.TypeOf(sel.X); t != nil && namedTypeName(t) == "WaitGroup" {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasChannelArg reports whether any argument of the call is a channel —
+// the caller can then join on it even though the body is elsewhere.
+func (p *Pass) hasChannelArg(call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if t := p.TypeOf(a); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkCapturedMapWrites flags m[k] = v inside the goroutine when m is
+// declared outside the func literal and the body takes no lock.
+func (p *Pass) checkCapturedMapWrites(lit *ast.FuncLit) {
+	if p.bodyLocks(lit) {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false // nested goroutine literals get their own visit
+		}
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			idx, ok := lhs.(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			base := idx.X
+			t := p.TypeOf(base)
+			if t == nil {
+				continue
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				continue
+			}
+			if id, ok := base.(*ast.Ident); ok {
+				obj := p.Info.ObjectOf(id)
+				if obj != nil && (obj.Pos() < lit.Pos() || obj.Pos() > lit.End()) {
+					p.Reportf(lhs.Pos(), "write to captured map %q inside goroutine races with other workers; write into worker-private state and merge after the join", id.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// bodyLocks reports whether the goroutine body calls a Lock method —
+// treated as evidence of deliberate synchronization.
+func (p *Pass) bodyLocks(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//d2t2:ignore check1,check2 free-form justification
+//
+// The comment suppresses the named checks on its own line and on the
+// line directly below (so it can sit above the offending statement).
+// The justification is not parsed but is required by convention; the
+// review gate is human.
+const ignorePrefix = "//d2t2:ignore"
+
+type ignoreSet struct {
+	// byLine maps filename:line to the set of check names ignored there.
+	byLine map[string]map[string]bool
+}
+
+func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
+	ig := &ignoreSet{byLine: map[string]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				names, _, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					ig.add(pos.Filename, pos.Line, name)
+					ig.add(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+	}
+	return ig
+}
+
+func (ig *ignoreSet) add(file string, line int, check string) {
+	k := key(file, line)
+	if ig.byLine[k] == nil {
+		ig.byLine[k] = map[string]bool{}
+	}
+	ig.byLine[k][check] = true
+}
+
+func (ig *ignoreSet) suppressed(d Diagnostic) bool {
+	set := ig.byLine[key(d.Pos.Filename, d.Pos.Line)]
+	return set[d.Check] || set["all"]
+}
+
+func key(file string, line int) string {
+	return file + "#" + strconv.Itoa(line)
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PanicPolicy flags panic(...) in library code: every package except
+// main packages and _test.go files. Library panics turn a caller's
+// recoverable input problem into a process abort — the production
+// posture the ROADMAP aims at wants returned errors at API boundaries.
+// Exemptions: functions whose name starts with "Must" (the standard Go
+// convention for panicking wrappers) and sites carrying a
+// //d2t2:ignore panicpolicy annotation with a justification (genuine
+// programmer-invariant checks, e.g. the checked.Int32 overflow guard).
+var PanicPolicy = &Analyzer{
+	Name: "panicpolicy",
+	Doc:  "flags panic() in non-main, non-test packages; push library code toward returned errors",
+	Run:  runPanicPolicy,
+}
+
+func runPanicPolicy(p *Pass) {
+	if p.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range p.Files {
+		filename := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasPrefix(fd.Name.Name, "Must") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				// Only the builtin: a local function named panic shadows it.
+				if obj := p.Info.Uses[id]; obj != nil && obj.Pkg() != nil {
+					return true
+				}
+				p.Reportf(call.Pos(), "panic in library code aborts the caller's process; return an error (or annotate the invariant with //d2t2:ignore panicpolicy and a justification)")
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package coordwidth is a coordwidth fixture: unguarded narrowing to
+// the int32 coordinate width must be flagged; guarded, constant and
+// widening conversions must not be.
+package coordwidth
+
+import "math"
+
+func narrowUnguarded(n int, u uint64) int32 {
+	a := int32(n) // want "unguarded narrowing of int to int32"
+	b := int16(n) // want "unguarded narrowing of int to int16"
+	c := int32(u) // want "unguarded narrowing of uint64 to int32"
+	return a + int32(b) + c
+}
+
+func narrowGuarded(n int) int32 {
+	if n > math.MaxInt32 {
+		return 0
+	}
+	return int32(n) // guarded by the MaxInt32 check above
+}
+
+func constantsAndWidening(x int32, y int8) (int32, int64, int) {
+	k := int32(1 << 20) // constant in range is fine
+	w := int64(x)       // widening is fine
+	i := int(x)         // int is 64-bit here; widening
+	_ = int32(y)        // int8 -> int32 widens
+	return k, w, i
+}
+
+func suppressedNarrow(n int) int32 {
+	//d2t2:ignore coordwidth fixture: exercising the suppression machinery
+	return int32(n)
+}

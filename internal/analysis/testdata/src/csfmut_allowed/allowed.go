@@ -1,0 +1,13 @@
+// Package allowed is the csfmutation negative fixture: the same writes
+// as the csfmut fixture, but the test loads it under an import path
+// inside internal/tiling, where builders may legitimately mutate the
+// backing arrays. No diagnostics are expected.
+package allowed
+
+import "d2t2/internal/formats"
+
+func mutateInOwner(csf *formats.CSF, csr *formats.CSR) {
+	csf.Seg[0][0] = 7
+	csf.Crd[0] = append(csf.Crd[0], 1)
+	csr.RowPtr[0]++
+}

@@ -1,0 +1,65 @@
+// Package floatdet is a floatdeterminism fixture, loaded under an
+// import path inside internal/model so the scoped checks apply.
+package floatdet
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Table mirrors the experiments.Table output type by name; the analyzer
+// keys the map-iteration check on the receiver type name.
+type Table struct{ Rows [][]string }
+
+func (t *Table) Append(cells ...any) { t.Rows = append(t.Rows, nil) }
+
+func compare(a, b float64, n, m int) bool {
+	if a == b { // want "exact == on floating-point operands"
+		return true
+	}
+	if a != 0 { // want "exact != on floating-point operands"
+		return false
+	}
+	if n == m { // integer equality is fine
+		return true
+	}
+	return a < b // ordered float comparison is fine
+}
+
+func comparedToleranced(a, b float64) bool {
+	const eps = 1e-9
+	d := a - b
+	return d < eps && d > -eps
+}
+
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want "package-global math/rand.Shuffle"
+	return rand.Intn(5)                // want "package-global math/rand.Intn"
+}
+
+func seededRand() int {
+	r := rand.New(rand.NewSource(42)) // explicit generator construction is fine
+	return r.Intn(5)
+}
+
+func rowsFromMap(t *Table, m map[string]float64) {
+	for k, v := range m {
+		t.Append(k, v) // want "Table.Append inside map iteration"
+	}
+}
+
+func rowsSorted(t *Table, m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m { // map range without output rows is fine
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t.Append(k, m[k]) // slice range is fine
+	}
+}
+
+func suppressed(a, b float64) bool {
+	//d2t2:ignore floatdeterminism fixture: exercising the suppression machinery
+	return a == b
+}

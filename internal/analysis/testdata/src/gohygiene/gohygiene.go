@@ -1,0 +1,71 @@
+// Package gohygiene is a goroutinehygiene fixture: goroutines without a
+// join signal and captured-map writes inside goroutines are flagged;
+// WaitGroup/channel-joined launches and private state are not.
+package gohygiene
+
+import "sync"
+
+func work() {}
+
+func unjoined() {
+	go func() { // want "no join signal"
+		work()
+	}()
+}
+
+func unjoinedNamed() {
+	go work() // want "without a visible join"
+}
+
+func capturedMap(shared map[string]int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		shared["k"] = 1 // want "write to captured map"
+	}()
+	wg.Wait()
+}
+
+func waitGroupJoined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // Done signals completion: fine
+		defer wg.Done()
+		work()
+	}()
+}
+
+func channelJoined() <-chan int {
+	ch := make(chan int, 1)
+	go func() { // channel send signals completion: fine
+		work()
+		ch <- 1
+	}()
+	return ch
+}
+
+func namedWithChannel(ch chan int) {
+	go producer(ch) // channel argument: caller can join
+}
+
+func producer(ch chan int) { ch <- 1 }
+
+func privateMap() {
+	done := make(chan struct{})
+	go func() {
+		local := map[string]int{} // goroutine-private map: fine
+		local["k"] = 1
+		close(done)
+	}()
+	<-done
+}
+
+func lockedMap(shared map[string]int, mu *sync.Mutex, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		shared["k"] = 1 // lock held: deliberate synchronization
+		mu.Unlock()
+	}()
+}

@@ -1,0 +1,9 @@
+// Command panicmain is the panicpolicy negative fixture: panics in main
+// packages are allowed.
+package main
+
+func main() {
+	if len("") != 0 {
+		panic("unreachable")
+	}
+}

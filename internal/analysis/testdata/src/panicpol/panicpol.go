@@ -1,0 +1,43 @@
+// Package panicpol is a panicpolicy fixture: library panics are
+// flagged; Must-prefixed wrappers, annotated invariants and test files
+// are exempt.
+package panicpol
+
+import "errors"
+
+func libraryPanic(n int) {
+	if n < 0 {
+		panic("negative") // want "panic in library code"
+	}
+}
+
+type parser struct{}
+
+func (p *parser) parse(s string) string {
+	if s == "" {
+		panic("empty input") // want "panic in library code"
+	}
+	return s
+}
+
+// MustParse follows the standard Must convention: exempt.
+func MustParse(s string) string {
+	if s == "" {
+		panic("empty input")
+	}
+	return s
+}
+
+func annotatedInvariant(n int) {
+	if n < 0 {
+		//d2t2:ignore panicpolicy fixture: exercising the suppression machinery
+		panic("unreachable by construction")
+	}
+}
+
+func returnsError(n int) error {
+	if n < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}

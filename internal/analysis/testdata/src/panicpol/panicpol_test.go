@@ -1,0 +1,7 @@
+package panicpol
+
+// Panics in test files are exempt from panicpolicy even when the loader
+// includes them.
+func testHelperPanics() {
+	panic("test-only panic is fine")
+}

@@ -1,0 +1,33 @@
+// Package checked provides bounds-checked narrowing into the int32
+// coordinate width used by the compressed formats. Tile coordinates,
+// segment pointers and fiber positions are stored as int32 throughout
+// internal/formats; a raw int→int32 conversion on a tensor with more
+// than 2^31 nonzeros or coordinates silently wraps and corrupts the
+// trie. These helpers make the overflow loud instead. The coordwidth
+// analyzer (internal/analysis) flags raw narrowing conversions and
+// points here.
+package checked
+
+import (
+	"fmt"
+	"math"
+)
+
+// Int32 converts x to the int32 coordinate width, panicking on overflow
+// rather than silently wrapping. The panic is deliberate: an overflow
+// here means a tensor exceeded the format's representable range, which
+// callers cannot recover from mid-build.
+func Int32(x int) int32 {
+	if x > math.MaxInt32 || x < math.MinInt32 {
+		//d2t2:ignore panicpolicy overflowing the coordinate width mid-build is unrecoverable by construction; the builders validate dimensions up front and this is the backstop
+		panic(fmt.Sprintf("checked: %d overflows the int32 coordinate width", x))
+	}
+	return int32(x)
+}
+
+// FitsInt32 reports whether x is representable at the coordinate width.
+// Builders use it to validate dimensions up front and return an error
+// instead of reaching the Int32 backstop per element.
+func FitsInt32(x int) bool {
+	return x >= math.MinInt32 && x <= math.MaxInt32
+}

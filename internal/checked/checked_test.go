@@ -1,0 +1,36 @@
+package checked
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInt32InRange(t *testing.T) {
+	for _, x := range []int{0, 1, -1, math.MaxInt32, math.MinInt32} {
+		if got := Int32(x); int(got) != x {
+			t.Fatalf("Int32(%d) = %d", x, got)
+		}
+	}
+}
+
+func TestInt32Overflow(t *testing.T) {
+	for _, x := range []int{math.MaxInt32 + 1, math.MinInt32 - 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Int32(%d) did not panic", x)
+				}
+			}()
+			Int32(x)
+		}()
+	}
+}
+
+func TestFitsInt32(t *testing.T) {
+	if !FitsInt32(math.MaxInt32) || FitsInt32(math.MaxInt32+1) {
+		t.Fatal("FitsInt32 boundary wrong")
+	}
+	if !FitsInt32(math.MinInt32) || FitsInt32(math.MinInt32-1) {
+		t.Fatal("FitsInt32 lower boundary wrong")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 
+	"d2t2/internal/checked"
 	"d2t2/internal/exec"
 	"d2t2/internal/tiling"
 )
@@ -246,7 +247,7 @@ func joinAggregate(a, b *tiling.TiledTensor, group []int, span []int, j int) (in
 		coo := t.CSF.ToCOO()
 		for p := 0; p < coo.NNZ(); p++ {
 			gk := k*b.TileDims[0] + coo.Crds[0][p]
-			bRows[gk] = append(bRows[gk], int32(coo.Crds[1][p]))
+			bRows[gk] = append(bRows[gk], checked.Int32(coo.Crds[1][p]))
 		}
 	}
 	var macs int64

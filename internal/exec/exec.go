@@ -313,6 +313,7 @@ func (r *runner) walk(d int, cursors []int32) bool {
 			node = int(cursors[ri])
 		}
 		s, e := st.tt.OuterCSF.Children(l, node)
+		//d2t2:ignore coordwidth s and e are read back out of the int32 Seg array by Children; the round-trip cannot widen past int32, and this is the innermost measurement loop
 		active = append(active, childRange{ri, int32(s), int32(e)})
 	}
 

@@ -56,7 +56,7 @@ func TestGustavsonCorrectness(t *testing.T) {
 	e := einsum.SpMSpMIKJ()
 	res := measureSpMSpM(t, e, a, b, map[string]int{"i": 8, "k": 8, "j": 8}, &Options{CollectOutput: true})
 
-	ref, err := formats.MulGustavson(formats.BuildCSR(a), formats.BuildCSR(b))
+	ref, err := formats.MulGustavson(formats.MustBuildCSR(a), formats.MustBuildCSR(b))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestInnerProductCorrectness(t *testing.T) {
 	e := einsum.SpMSpMIJK()
 	res := measureSpMSpM(t, e, a, bt, map[string]int{"i": 8, "j": 8, "k": 8}, &Options{CollectOutput: true})
 
-	ref, err := formats.MulGustavson(formats.BuildCSR(a), formats.BuildCSR(bt.Transpose()))
+	ref, err := formats.MulGustavson(formats.MustBuildCSR(a), formats.MustBuildCSR(bt.Transpose()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +340,7 @@ func TestQuickGustavsonMatchesReference(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		ref, err := formats.MulGustavson(formats.BuildCSR(a), formats.BuildCSR(b))
+		ref, err := formats.MulGustavson(formats.MustBuildCSR(a), formats.MustBuildCSR(b))
 		if err != nil {
 			return false
 		}

@@ -3,6 +3,7 @@ package exec
 import (
 	"sort"
 
+	"d2t2/internal/checked"
 	"d2t2/internal/tiling"
 )
 
@@ -63,7 +64,7 @@ func (r *runner) joinProduct(prod []int) {
 			for _, a := range sharedRef {
 				key = key<<16 | uint64(uint16(ent.crds[a][p]))
 			}
-			hash[key] = append(hash[key], int32(p))
+			hash[key] = append(hash[key], checked.Int32(p))
 		}
 
 		stride := len(vars)
@@ -145,7 +146,7 @@ func (r *runner) entriesOf(st *refState, tile *tiling.Tile) *entryList {
 				off = csfTile.Outer[a]*memberDims[a] - tile.Outer[a]*st.tt.TileDims[a]
 			}
 			for p := 0; p < coo.NNZ(); p++ {
-				e.crds[a] = append(e.crds[a], int32(coo.Crds[a][p]+off))
+				e.crds[a] = append(e.crds[a], checked.Int32(coo.Crds[a][p]+off))
 			}
 		}
 		e.vals = append(e.vals, coo.Vals...)
@@ -184,7 +185,7 @@ func (r *runner) flushOutput() {
 	for i, k := range keys {
 		c := make([]int32, nOut)
 		for a := nOut - 1; a >= 0; a-- {
-			c[a] = int32(k % uint64(r.outTileDims[a]))
+			c[a] = checked.Int32(int(k % uint64(r.outTileDims[a])))
 			k /= uint64(r.outTileDims[a])
 		}
 		coords[i] = c

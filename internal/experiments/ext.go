@@ -35,7 +35,7 @@ func ExtRefine(s *Suite) (*Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			m, err := measureConfig(e, inputs, res.Config, nil)
+			m, err := measureConfig(s, e, inputs, res.Config, nil)
 			if err != nil {
 				return 0, err
 			}

@@ -75,7 +75,7 @@ func d2t2Traffic(e *einsum.Expr, a *tensor.COO, s *Suite) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	m, err := measureConfig(e, inputs, res.Config, nil)
+	m, err := measureConfig(s, e, inputs, res.Config, nil)
 	if err != nil {
 		return 0, err
 	}

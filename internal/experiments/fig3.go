@@ -39,7 +39,7 @@ func Fig3c() (*Table, error) {
 	}
 
 	run := func(name string, cfg model.Config) (int64, error) {
-		res, err := measureConfig(e, inputs, cfg, &exec.Options{ValuesOnly: true})
+		res, err := measureConfig(nil, e, inputs, cfg, &exec.Options{ValuesOnly: true})
 		if err != nil {
 			return 0, err
 		}

@@ -69,7 +69,7 @@ func Fig5(s *Suite) (*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				m, err := measureConfig(e, inputs, cfg, nil)
+				m, err := measureConfig(s, e, inputs, cfg, nil)
 				if err != nil {
 					return nil, err
 				}

@@ -36,7 +36,7 @@ func Fig6a(s *Suite) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		pres, err := measureConfig(e, inputs, presCfg, nil)
+		pres, err := measureConfig(s, e, inputs, presCfg, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -44,7 +44,7 @@ func Fig6a(s *Suite) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		d2, err := measureConfig(e, inputs, opt.Config, nil)
+		d2, err := measureConfig(s, e, inputs, opt.Config, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +81,7 @@ func Fig6b(s *Suite) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		pres, err := measureConfig(e, inputs, presCfg, nil)
+		pres, err := measureConfig(s, e, inputs, presCfg, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +90,7 @@ func Fig6b(s *Suite) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		d2, err := measureConfig(e, inputs, opt.Config, nil)
+		d2, err := measureConfig(s, e, inputs, opt.Config, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -99,7 +99,7 @@ func Fig6b(s *Suite) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tail, err := measureConfig(e, inputs, tailCfg, &exec.Options{
+		tail, err := measureConfig(s, e, inputs, tailCfg, &exec.Options{
 			InputBufferWords: s.BufferWords(),
 		})
 		if err != nil {
@@ -140,7 +140,7 @@ func Fig6c(s *Suite) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		pres, err := measureConfig(e, inputs, presCfg, nil)
+		pres, err := measureConfig(s, e, inputs, presCfg, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -149,7 +149,7 @@ func Fig6c(s *Suite) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		d2, err := measureConfig(e, inputs, opt.Config, nil)
+		d2, err := measureConfig(s, e, inputs, opt.Config, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -175,7 +175,7 @@ func Fig6c(s *Suite) (*Table, error) {
 			return nil, err
 		}
 
-		consRes, err := measureConfig(e, inputs, consCfg, nil)
+		consRes, err := measureConfig(s, e, inputs, consCfg, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -207,7 +207,7 @@ func pearson(xs, ys []float64) float64 {
 		sxx += dx * dx
 		syy += dy * dy
 	}
-	if sxx == 0 || syy == 0 {
+	if sxx <= 0 || syy <= 0 {
 		return 0
 	}
 	return sxy / math.Sqrt(sxx*syy)

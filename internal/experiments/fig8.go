@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"math"
+
 	"d2t2/internal/einsum"
 	"d2t2/internal/model"
 	"d2t2/internal/stats"
@@ -33,15 +35,15 @@ func Fig8(s *Suite) (*Table, error) {
 		sum := stB.CorrSum(0, s.TileSide)
 
 		// Measured-best RF over the sweep.
-		bestRF, bestTotal := 1, 0.0
+		bestRF, bestTotal := 1, math.Inf(1)
 		for _, rf := range []int{1, 2, 4, 8} {
 			k := s.TileSide / rf
 			cfg := model.Config{"i": s.TileSide * rf, "k": k, "j": s.TileSide * rf}
-			res, err := measureConfig(e, inputs, cfg, nil)
+			res, err := measureConfig(s, e, inputs, cfg, nil)
 			if err != nil {
 				return nil, err
 			}
-			if bestTotal == 0 || float64(res.Total()) < bestTotal {
+			if float64(res.Total()) < bestTotal {
 				bestRF, bestTotal = rf, float64(res.Total())
 			}
 		}

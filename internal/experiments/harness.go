@@ -125,6 +125,11 @@ type Suite struct {
 	// Labels restricts matrix experiments to these dataset labels (nil =
 	// the full A..S suite).
 	Labels []string
+	// Workers fixes the exec worker count for measurements (0 = all
+	// cores). The parallel partition merges counters exactly, so tables
+	// are identical for any setting; the determinism regression test
+	// checks Workers:1 against Workers:4.
+	Workers int
 
 	mu    sync.Mutex
 	cache map[string]*tensor.COO
@@ -203,20 +208,26 @@ func (s *Suite) aat(label string, e *einsum.Expr) (map[string]*tensor.COO, error
 	return map[string]*tensor.COO{"A": a, "B": b}, nil
 }
 
-// measureConfig tiles the inputs at cfg and measures traffic, using all
-// cores (the parallel partition merges counters exactly).
-func measureConfig(e *einsum.Expr, inputs map[string]*tensor.COO, cfg model.Config, opts *exec.Options) (*exec.Result, error) {
+// measureConfig tiles the inputs at cfg and measures traffic. The
+// worker count resolves opts.Workers, then s.Workers, then all cores;
+// the parallel partition merges counters exactly, so the result is the
+// same for any choice. s may be nil for suite-less experiments.
+func measureConfig(s *Suite, e *einsum.Expr, inputs map[string]*tensor.COO, cfg model.Config, opts *exec.Options) (*exec.Result, error) {
 	tiled, err := optimizer.TileAll(e, inputs, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if opts == nil {
-		opts = &exec.Options{}
+	var o exec.Options
+	if opts != nil {
+		o = *opts
 	}
-	if opts.Workers == 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
+	if o.Workers == 0 && s != nil {
+		o.Workers = s.Workers
 	}
-	return exec.Measure(e, tiled, opts)
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return exec.Measure(e, tiled, &o)
 }
 
 // geomean returns the geometric mean of positive values.

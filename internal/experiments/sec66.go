@@ -36,7 +36,7 @@ func Sec66(s *Suite) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		d2, err := measureConfig(e, inputs, opt.Config, nil)
+		d2, err := measureConfig(s, e, inputs, opt.Config, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -68,7 +68,7 @@ func Sec66(s *Suite) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := measureConfig(e, inputs, cfg, nil)
+			res, err := measureConfig(s, e, inputs, cfg, nil)
 			if err != nil {
 				return nil, err
 			}

@@ -32,11 +32,11 @@ func Sec67(s *Suite) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		big, err := packedRatio(e, inputs, s.BufferWords(), s.TileSide)
+		big, err := packedRatio(s, e, inputs, s.BufferWords(), s.TileSide)
 		if err != nil {
 			return nil, err
 		}
-		small, err := packedRatio(e, inputs, s.BufferWords(), s.TileSide/4)
+		small, err := packedRatio(s, e, inputs, s.BufferWords(), s.TileSide/4)
 		if err != nil {
 			return nil, err
 		}
@@ -53,7 +53,7 @@ func Sec67(s *Suite) (*Table, error) {
 // packedRatio optimizes with base tiles of the given side, then measures
 // (a) fully retiled D2T2 and (b) packed original tiles at the D2T2
 // configuration normalized to base multiples, returning traffic(b)/(a).
-func packedRatio(e *einsum.Expr, inputs map[string]*tensor.COO, bufferWords, baseSide int) (float64, error) {
+func packedRatio(s *Suite, e *einsum.Expr, inputs map[string]*tensor.COO, bufferWords, baseSide int) (float64, error) {
 	opt, err := optimizer.Optimize(e, inputs, optimizer.Options{
 		BufferWords: bufferWords,
 		BaseTile:    baseSide,
@@ -61,7 +61,7 @@ func packedRatio(e *einsum.Expr, inputs map[string]*tensor.COO, bufferWords, bas
 	if err != nil {
 		return 0, err
 	}
-	retiledRes, err := measureConfig(e, inputs, opt.Config, nil)
+	retiledRes, err := measureConfig(s, e, inputs, opt.Config, nil)
 	if err != nil {
 		return 0, err
 	}

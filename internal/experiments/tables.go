@@ -95,7 +95,7 @@ func higherOrderImprovement(e *einsum.Expr, t3 *tensor.COO, density float64, s *
 	buffer := tiling.DenseFootprintWords([]int{side, side, side})
 
 	consCfg := schemes.Conservative(e, buffer)
-	cons, err := measureConfig(e, inputs, consCfg, nil)
+	cons, err := measureConfig(s, e, inputs, consCfg, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -103,7 +103,7 @@ func higherOrderImprovement(e *einsum.Expr, t3 *tensor.COO, density float64, s *
 	if err != nil {
 		return 0, err
 	}
-	d2, err := measureConfig(e, inputs, opt.Config, nil)
+	d2, err := measureConfig(s, e, inputs, opt.Config, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -133,7 +133,7 @@ func Table5() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		pres, err := measureConfig(e, inputs, presCfg, nil)
+		pres, err := measureConfig(nil, e, inputs, presCfg, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +141,7 @@ func Table5() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		d2, err := measureConfig(e, inputs, opt.Config, nil)
+		d2, err := measureConfig(nil, e, inputs, opt.Config, nil)
 		if err != nil {
 			return nil, err
 		}

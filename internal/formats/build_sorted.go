@@ -1,5 +1,7 @@
 package formats
 
+import "d2t2/internal/checked"
+
 // BuildSortedUnique constructs a CSF directly from coordinate arrays that
 // are already in level order, lexicographically sorted and duplicate-free.
 // crds[l][p] is the level-l coordinate of entry p. It is the fast path the
@@ -43,12 +45,12 @@ func BuildSortedUnique(dims []int, order []int, crds [][]int32, vals []float64) 
 		for l := div; l < lv; l++ {
 			c.Crd[l] = append(c.Crd[l], crds[l][p])
 			if l+1 < lv {
-				c.Seg[l+1] = append(c.Seg[l+1], int32(len(c.Crd[l+1])))
+				c.Seg[l+1] = append(c.Seg[l+1], checked.Int32(len(c.Crd[l+1])))
 			}
 		}
 	}
 	for l := 0; l < lv; l++ {
-		c.Seg[l] = append(c.Seg[l], int32(len(c.Crd[l])))
+		c.Seg[l] = append(c.Seg[l], checked.Int32(len(c.Crd[l])))
 	}
 	return c
 }

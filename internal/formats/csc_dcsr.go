@@ -3,6 +3,7 @@ package formats
 import (
 	"fmt"
 
+	"d2t2/internal/checked"
 	"d2t2/internal/tensor"
 )
 
@@ -14,10 +15,15 @@ type CSC struct {
 	Vals   []float64
 }
 
-// BuildCSC constructs a CSC matrix from a COO matrix (duplicates summed).
-func BuildCSC(t *tensor.COO) *CSC {
+// BuildCSC constructs a CSC matrix from a COO matrix (duplicates
+// summed). It returns an error when the input is not a matrix or its
+// dimensions exceed the int32 coordinate width.
+func BuildCSC(t *tensor.COO) (*CSC, error) {
 	if t.Order() != 2 {
-		panic("formats: BuildCSC requires a matrix")
+		return nil, fmt.Errorf("formats: BuildCSC requires a matrix, got order %d", t.Order())
+	}
+	if !checked.FitsInt32(t.Dims[0]) || !checked.FitsInt32(t.Dims[1]) {
+		return nil, fmt.Errorf("formats: BuildCSC dimensions %dx%d exceed the int32 coordinate width", t.Dims[0], t.Dims[1])
 	}
 	src := t.Clone()
 	src.Dedup()
@@ -31,10 +37,20 @@ func BuildCSC(t *tensor.COO) *CSC {
 	}
 	for p := 0; p < src.NNZ(); p++ {
 		m.ColPtr[src.Crds[1][p]+1]++
-		m.RowIdx[p] = int32(src.Crds[0][p])
+		m.RowIdx[p] = checked.Int32(src.Crds[0][p])
 	}
 	for j := 0; j < m.C; j++ {
 		m.ColPtr[j+1] += m.ColPtr[j]
+	}
+	return m, nil
+}
+
+// MustBuildCSC is BuildCSC that panics on error, for tests and fixed
+// pipelines whose inputs are matrices by construction.
+func MustBuildCSC(t *tensor.COO) *CSC {
+	m, err := BuildCSC(t)
+	if err != nil {
+		panic(err)
 	}
 	return m
 }
@@ -72,27 +88,42 @@ type DCSR struct {
 	Vals   []float64
 }
 
-// BuildDCSR constructs a DCSR matrix from a COO matrix.
-func BuildDCSR(t *tensor.COO) *DCSR {
+// BuildDCSR constructs a DCSR matrix from a COO matrix. It returns an
+// error when the input is not a matrix or its dimensions exceed the
+// int32 coordinate width.
+func BuildDCSR(t *tensor.COO) (*DCSR, error) {
 	if t.Order() != 2 {
-		panic("formats: BuildDCSR requires a matrix")
+		return nil, fmt.Errorf("formats: BuildDCSR requires a matrix, got order %d", t.Order())
+	}
+	if !checked.FitsInt32(t.Dims[0]) || !checked.FitsInt32(t.Dims[1]) {
+		return nil, fmt.Errorf("formats: BuildDCSR dimensions %dx%d exceed the int32 coordinate width", t.Dims[0], t.Dims[1])
 	}
 	src := t.Clone()
 	src.Dedup()
 	m := &DCSR{R: src.Dims[0], C: src.Dims[1]}
 	m.RowPtr = append(m.RowPtr, 0)
 	for p := 0; p < src.NNZ(); p++ {
-		r := int32(src.Crds[0][p])
+		r := checked.Int32(src.Crds[0][p])
 		if len(m.Rows) == 0 || m.Rows[len(m.Rows)-1] != r {
 			if len(m.Rows) > 0 {
-				m.RowPtr = append(m.RowPtr, int32(len(m.ColIdx)))
+				m.RowPtr = append(m.RowPtr, checked.Int32(len(m.ColIdx)))
 			}
 			m.Rows = append(m.Rows, r)
 		}
-		m.ColIdx = append(m.ColIdx, int32(src.Crds[1][p]))
+		m.ColIdx = append(m.ColIdx, checked.Int32(src.Crds[1][p]))
 		m.Vals = append(m.Vals, src.Vals[p])
 	}
-	m.RowPtr = append(m.RowPtr, int32(len(m.ColIdx)))
+	m.RowPtr = append(m.RowPtr, checked.Int32(len(m.ColIdx)))
+	return m, nil
+}
+
+// MustBuildDCSR is BuildDCSR that panics on error, for tests and fixed
+// pipelines whose inputs are matrices by construction.
+func MustBuildDCSR(t *tensor.COO) *DCSR {
+	m, err := BuildDCSR(t)
+	if err != nil {
+		panic(err)
+	}
 	return m
 }
 

@@ -13,7 +13,7 @@ func TestCSCBuildAndCol(t *testing.T) {
 	m.Append([]int{0, 1}, 1)
 	m.Append([]int{2, 1}, 2)
 	m.Append([]int{1, 3}, 3)
-	c := BuildCSC(m)
+	c := MustBuildCSC(m)
 	rows, vals := c.Col(1)
 	if len(rows) != 2 || rows[0] != 0 || rows[1] != 2 || vals[1] != 2 {
 		t.Fatalf("col 1 = %v %v", rows, vals)
@@ -31,7 +31,7 @@ func TestDCSRHyperSparse(t *testing.T) {
 	m.Append([]int{5, 7}, 1)
 	m.Append([]int{5, 9}, 2)
 	m.Append([]int{999999, 0}, 3)
-	d := BuildDCSR(m)
+	d := MustBuildDCSR(m)
 	if d.NumRows() != 2 {
 		t.Fatalf("non-empty rows = %d, want 2", d.NumRows())
 	}
@@ -39,7 +39,7 @@ func TestDCSRHyperSparse(t *testing.T) {
 	if d.FootprintWords() > 20 {
 		t.Fatalf("DCSR footprint = %d", d.FootprintWords())
 	}
-	csr := BuildCSR(m)
+	csr := MustBuildCSR(m)
 	if len(csr.RowPtr) != 1000001 {
 		t.Fatalf("CSR rowptr = %d", len(csr.RowPtr))
 	}
@@ -53,14 +53,14 @@ func TestSpMV(t *testing.T) {
 		{1, 0, 2},
 		{0, 3, 0},
 	})
-	y, err := SpMV(BuildCSR(a), []float64{1, 2, 3})
+	y, err := SpMV(MustBuildCSR(a), []float64{1, 2, 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if y[0] != 7 || y[1] != 6 {
 		t.Fatalf("y = %v", y)
 	}
-	if _, err := SpMV(BuildCSR(a), []float64{1}); err == nil {
+	if _, err := SpMV(MustBuildCSR(a), []float64{1}); err == nil {
 		t.Fatal("length mismatch accepted")
 	}
 }
@@ -74,9 +74,9 @@ func TestQuickFormatRoundTrips(t *testing.T) {
 			m.Append([]int{r.Intn(n), r.Intn(n)}, float64(1+r.Intn(9)))
 		}
 		m.Dedup()
-		return tensor.Equal(m, BuildCSC(m).ToCOO()) &&
-			tensor.Equal(m, BuildDCSR(m).ToCOO()) &&
-			tensor.Equal(m, BuildCSR(m).ToCOO())
+		return tensor.Equal(m, MustBuildCSC(m).ToCOO()) &&
+			tensor.Equal(m, MustBuildDCSR(m).ToCOO()) &&
+			tensor.Equal(m, MustBuildCSR(m).ToCOO())
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
@@ -97,7 +97,7 @@ func TestQuickSpMVAgainstDense(t *testing.T) {
 		for i := range x {
 			x[i] = float64(r.Intn(7))
 		}
-		y, err := SpMV(BuildCSR(m), x)
+		y, err := SpMV(MustBuildCSR(m), x)
 		if err != nil {
 			return false
 		}

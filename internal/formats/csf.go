@@ -8,6 +8,7 @@ package formats
 import (
 	"fmt"
 
+	"d2t2/internal/checked"
 	"d2t2/internal/tensor"
 )
 
@@ -60,6 +61,7 @@ func Build(t *tensor.COO, order []int) *CSF {
 		}
 	}
 	if len(order) != t.Order() {
+		//d2t2:ignore panicpolicy order arity is a programmer invariant: every caller passes a literal permutation or nil; an error return would infect every construction site for an impossible case
 		panic(fmt.Sprintf("formats: order arity %d != tensor order %d", len(order), t.Order()))
 	}
 	src := t.Clone()
@@ -102,18 +104,18 @@ func Build(t *tensor.COO, order []int) *CSF {
 		}
 		for l := div; l < lv; l++ {
 			a := order[l]
-			c.Crd[l] = append(c.Crd[l], int32(src.Crds[a][p]))
+			c.Crd[l] = append(c.Crd[l], checked.Int32(src.Crds[a][p]))
 			if l+1 < lv {
 				// A new node at level l opens a new fiber at level l+1:
 				// record its start (the current length of Crd[l+1]).
-				c.Seg[l+1] = append(c.Seg[l+1], int32(len(c.Crd[l+1])))
+				c.Seg[l+1] = append(c.Seg[l+1], checked.Int32(len(c.Crd[l+1])))
 			}
 		}
 	}
 	// Close every level's final fiber: Seg[l][i] holds the start of the
 	// fiber under parent i; append the overall end as the last boundary.
 	for l := 0; l < lv; l++ {
-		c.Seg[l] = append(c.Seg[l], int32(len(c.Crd[l])))
+		c.Seg[l] = append(c.Seg[l], checked.Int32(len(c.Crd[l])))
 	}
 	return c
 }

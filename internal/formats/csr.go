@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"d2t2/internal/checked"
 	"d2t2/internal/tensor"
 )
 
@@ -17,10 +18,15 @@ type CSR struct {
 	Vals   []float64
 }
 
-// BuildCSR constructs a CSR matrix from a COO matrix (duplicates summed).
-func BuildCSR(t *tensor.COO) *CSR {
+// BuildCSR constructs a CSR matrix from a COO matrix (duplicates
+// summed). It returns an error when the input is not a matrix or its
+// dimensions exceed the int32 coordinate width.
+func BuildCSR(t *tensor.COO) (*CSR, error) {
 	if t.Order() != 2 {
-		panic("formats: BuildCSR requires a matrix")
+		return nil, fmt.Errorf("formats: BuildCSR requires a matrix, got order %d", t.Order())
+	}
+	if !checked.FitsInt32(t.Dims[0]) || !checked.FitsInt32(t.Dims[1]) {
+		return nil, fmt.Errorf("formats: BuildCSR dimensions %dx%d exceed the int32 coordinate width", t.Dims[0], t.Dims[1])
 	}
 	src := t.Clone()
 	src.Dedup() // sorts row-major
@@ -33,10 +39,20 @@ func BuildCSR(t *tensor.COO) *CSR {
 	}
 	for p := 0; p < src.NNZ(); p++ {
 		m.RowPtr[src.Crds[0][p]+1]++
-		m.ColIdx[p] = int32(src.Crds[1][p])
+		m.ColIdx[p] = checked.Int32(src.Crds[1][p])
 	}
 	for i := 0; i < m.R; i++ {
 		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m, nil
+}
+
+// MustBuildCSR is BuildCSR that panics on error, for tests and fixed
+// pipelines whose inputs are matrices by construction.
+func MustBuildCSR(t *tensor.COO) *CSR {
+	m, err := BuildCSR(t)
+	if err != nil {
+		panic(err)
 	}
 	return m
 }
@@ -89,7 +105,7 @@ func MulGustavson(a, b *CSR) (*CSR, error) {
 			out.ColIdx = append(out.ColIdx, j)
 			out.Vals = append(out.Vals, acc[j])
 		}
-		out.RowPtr[i+1] = int32(len(out.Vals))
+		out.RowPtr[i+1] = checked.Int32(len(out.Vals))
 	}
 	return out, nil
 }

@@ -13,7 +13,7 @@ func TestCSRBuildAndRow(t *testing.T) {
 	m.Append([]int{0, 1}, 1)
 	m.Append([]int{0, 3}, 2)
 	m.Append([]int{2, 0}, 3)
-	c := BuildCSR(m)
+	c := MustBuildCSR(m)
 	if c.NNZ() != 3 {
 		t.Fatalf("nnz = %d", c.NNZ())
 	}
@@ -39,7 +39,7 @@ func TestMulGustavsonSmall(t *testing.T) {
 		{4, 0},
 		{0, 5},
 	})
-	c, err := MulGustavson(BuildCSR(a), BuildCSR(b))
+	c, err := MulGustavson(MustBuildCSR(a), MustBuildCSR(b))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,8 +58,8 @@ func TestMulGustavsonSmall(t *testing.T) {
 }
 
 func TestMulGustavsonDimMismatch(t *testing.T) {
-	a := BuildCSR(tensor.New(2, 3))
-	b := BuildCSR(tensor.New(2, 3))
+	a := MustBuildCSR(tensor.New(2, 3))
+	b := MustBuildCSR(tensor.New(2, 3))
 	if _, err := MulGustavson(a, b); err == nil {
 		t.Fatal("dimension mismatch accepted")
 	}
@@ -70,7 +70,7 @@ func TestRowNNZHistogram(t *testing.T) {
 	m.Append([]int{0, 0}, 1)
 	m.Append([]int{0, 1}, 1)
 	m.Append([]int{2, 2}, 1)
-	h := BuildCSR(m).RowNNZHistogram()
+	h := MustBuildCSR(m).RowNNZHistogram()
 	if h[0] != 2 || h[1] != 0 || h[2] != 1 {
 		t.Fatalf("histogram = %v", h)
 	}
@@ -106,7 +106,7 @@ func TestQuickGustavsonMatchesDense(t *testing.T) {
 		}
 		a.Dedup()
 		b.Dedup()
-		c, err := MulGustavson(BuildCSR(a), BuildCSR(b))
+		c, err := MulGustavson(MustBuildCSR(a), MustBuildCSR(b))
 		if err != nil {
 			return false
 		}

@@ -354,7 +354,7 @@ func (p *Predictor) predictOutput(cfg Config, views []*tensorView, prods [][]int
 		}
 	}
 	writes := above * clamp01(below*pLeaf)
-	if writes == 0 {
+	if writes <= 0 {
 		return 0
 	}
 

@@ -137,7 +137,7 @@ func (p *Predictor) refinedInputTraffic(vi int, views []*tensorView, prod []int)
 			} else if _, ok := plan.exists[key]; !ok {
 				mult = 0
 			}
-			if mult == 0 {
+			if mult <= 0 {
 				break
 			}
 		}
@@ -199,7 +199,7 @@ func (p *Predictor) refinedOutput(views []*tensorView, prod []int, cfg Config, o
 	for i := range cV {
 		partials += float64(cV[i]) * float64(cW[i])
 	}
-	if partials == 0 {
+	if partials <= 0 {
 		return 0, true
 	}
 

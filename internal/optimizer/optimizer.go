@@ -67,6 +67,7 @@ func (o Options) withDefaults() Options {
 	if o.RFs == nil {
 		o.RFs = []float64{0.25, 0.5, 1, 2, 4, 8}
 	}
+	//d2t2:ignore floatdeterminism zero-value sentinel for an unset Options field, not a computed float
 	if o.CorrsThreshold == 0 {
 		o.CorrsThreshold = 1.6
 	}
@@ -198,6 +199,7 @@ func Optimize(e *einsum.Expr, inputs map[string]*tensor.COO, opts Options) (*Res
 				break
 			}
 		}
+		//d2t2:ignore floatdeterminism rf ranges over the literal RFs slice; matching the literal 1 exactly is intended
 		if !fitsShape && rf != 1 {
 			continue
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"d2t2/internal/checked"
 	"d2t2/internal/tensor"
 	"d2t2/internal/tiling"
 )
@@ -59,8 +60,8 @@ func buildMicroSummary(t *tensor.COO, tt *tiling.TiledTensor, microDiv int) (*mi
 	// counts) and EvalShape re-sorts its group output deterministically.
 	for k, tile := range mt.Tiles {
 		ms.keys = append(ms.keys, k)
-		ms.nnz = append(ms.nnz, int32(tile.NNZ()))
-		ms.footprint = append(ms.footprint, int32(tile.Footprint))
+		ms.nnz = append(ms.nnz, checked.Int32(tile.NNZ()))
+		ms.footprint = append(ms.footprint, checked.Int32(tile.Footprint))
 	}
 
 	// Fit the footprint calibration at the base shape, where the exact
@@ -219,7 +220,7 @@ func (s *Stats) EvalShape(tileDims []int) (*ShapeStats, error) {
 		dec := tiling.Unkey(gk, n)
 		oc32 := make([]int32, n)
 		for a := range dec {
-			oc32[a] = int32(dec[a])
+			oc32[a] = checked.Int32(dec[a])
 		}
 		out.GroupOuter = append(out.GroupOuter, oc32)
 		out.GroupFP = append(out.GroupFP, float64(g.fp))

@@ -56,10 +56,12 @@ func (t *COO) Density() float64 {
 // if duplicates are possible.
 func (t *COO) Append(coord []int, val float64) {
 	if len(coord) != len(t.Dims) {
+		//d2t2:ignore panicpolicy Append is the per-nonzero hot path; arity is a programmer invariant (callers build coord from t.Dims) and an error return would cost every construction loop
 		panic(fmt.Sprintf("tensor: coordinate arity %d != order %d", len(coord), len(t.Dims)))
 	}
 	for a, c := range coord {
 		if c < 0 || c >= t.Dims[a] {
+			//d2t2:ignore panicpolicy same hot-path invariant: out-of-range coordinates are generator bugs, not recoverable input errors
 			panic(fmt.Sprintf("tensor: coordinate %d out of range [0,%d) on axis %d", c, t.Dims[a], a))
 		}
 		t.Crds[a] = append(t.Crds[a], c)
@@ -90,6 +92,7 @@ func (t *COO) Clone() *COO {
 // is old axis perm[a]. For a matrix, Permute(1,0) is the transpose.
 func (t *COO) Permute(perm ...int) *COO {
 	if len(perm) != t.Order() {
+		//d2t2:ignore panicpolicy permutations are literal at every call site; arity mismatch is a programmer invariant
 		panic("tensor: permutation arity mismatch")
 	}
 	dims := make([]int, len(perm))
@@ -107,6 +110,7 @@ func (t *COO) Permute(perm ...int) *COO {
 // Transpose is Permute(1,0) and panics unless the tensor is a matrix.
 func (t *COO) Transpose() *COO {
 	if t.Order() != 2 {
+		//d2t2:ignore panicpolicy documented contract ("panics unless the tensor is a matrix"); callers transpose matrices by construction
 		panic("tensor: Transpose requires a matrix")
 	}
 	return t.Permute(1, 0)
@@ -307,6 +311,7 @@ func FromDense(rows [][]float64) *COO {
 // tensors that are not matrices and is intended for small test inputs.
 func (t *COO) ToDense() [][]float64 {
 	if t.Order() != 2 {
+		//d2t2:ignore panicpolicy documented contract; ToDense is a test-support helper for small matrices
 		panic("tensor: ToDense requires a matrix")
 	}
 	out := make([][]float64, t.Dims[0])
@@ -343,6 +348,7 @@ func (t *COO) DegreeOrder(axis int) []int {
 // operands to keep a computation consistent.
 func (t *COO) Relabel(axis int, perm []int) *COO {
 	if len(perm) != t.Dims[axis] {
+		//d2t2:ignore panicpolicy the permutation comes from DegreeOrder over the same axis; a length mismatch is a programmer invariant
 		panic("tensor: relabel permutation has wrong length")
 	}
 	inv := make([]int, len(perm))
@@ -361,6 +367,7 @@ func (t *COO) Relabel(axis int, perm []int) *COO {
 // (FROSTT higher-order tensors flattened to 3-tensors by dropping modes).
 func (t *COO) DropAxis(axis int) *COO {
 	if axis < 0 || axis >= t.Order() {
+		//d2t2:ignore panicpolicy axis is literal at every call site (FROSTT preprocessing); out-of-range is a programmer invariant
 		panic("tensor: DropAxis out of range")
 	}
 	dims := make([]int, 0, t.Order()-1)

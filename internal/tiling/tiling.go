@@ -9,6 +9,7 @@ package tiling
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"d2t2/internal/formats"
@@ -145,6 +146,12 @@ func New(t *tensor.COO, tileDims []int, order []int) (*TiledTensor, error) {
 		}
 		if (t.Dims[a]+td-1)/td > 1<<keyShift {
 			return nil, fmt.Errorf("tiling: axis %d produces too many tiles", a)
+		}
+		// Guard the int32 coordinate width up front so the per-entry
+		// outer/inner conversions below cannot wrap (coordinates are
+		// bounded by the axis dimension).
+		if t.Dims[a] > math.MaxInt32 {
+			return nil, fmt.Errorf("tiling: axis %d dimension %d exceeds the int32 coordinate width", a, t.Dims[a])
 		}
 	}
 
