@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"d2t2"
+	"d2t2/internal/buildinfo"
 )
 
 func main() {
@@ -47,6 +48,8 @@ func main() {
 		err = cmdCompare(os.Args[2:])
 	case "spy":
 		err = cmdSpy(os.Args[2:])
+	case "version", "-version", "--version":
+		fmt.Println("d2t2", buildinfo.Version)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -71,6 +74,7 @@ commands:
   predict   predict traffic for a configuration with the model
   compare   run conservative/prescient/D2T2 side by side on a machine
   spy       render an ASCII occupancy plot of a matrix
+  version   print the build version
   help      show this message`)
 }
 
@@ -152,19 +156,29 @@ func cmdGen(args []string) error {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
+	write := func(w *os.File) error {
+		if t.Order() == 2 && !strings.HasSuffix(*out, ".tns") {
+			return t.ToMatrixMarket(w)
 		}
-		defer f.Close()
-		w = f
+		return t.ToTNS(w)
 	}
-	if t.Order() == 2 && !strings.HasSuffix(*out, ".tns") {
-		return t.ToMatrixMarket(w)
+	if *out == "" {
+		return write(os.Stdout)
 	}
-	return t.ToTNS(w)
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	// A failed close loses buffered data, so it is a pipeline failure
+	// like any other — never swallow it behind a defer.
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(*out)
+	}
+	return werr
 }
 
 func cmdStats(args []string) error {

@@ -1,0 +1,94 @@
+// Command d2t2d is the Data-Driven Tensor Tiling optimizer daemon: a
+// long-running HTTP service that ingests sparse tensors, collects tile
+// statistics once per tensor, and answers optimize/predict queries from
+// a content-addressed artifact cache of binary snapshots.
+//
+// Usage:
+//
+//	d2t2d -addr :8421 -cache-dir d2t2d-cache -mem-cache-mb 64 -workers 4
+//
+// Endpoints:
+//
+//	POST /v1/tensors              ingest a .mtx/.tns upload or a JSON
+//	                              {"gen": {"label": "C", "scale": 32}} spec
+//	POST /v1/optimize             run the D2T2 pipeline for a kernel
+//	POST /v1/predict              price one tile configuration
+//	GET  /v1/tensors/{id}/stats   collected statistics summary
+//	GET  /healthz                 liveness + version
+//	GET  /debug/vars              expvar counters
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: in-flight requests
+// finish (bounded by -drain-timeout), then ingest workers are joined.
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"d2t2/internal/buildinfo"
+	"d2t2/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "d2t2d:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("d2t2d", flag.ExitOnError)
+	addr := fs.String("addr", ":8421", "listen address")
+	cacheDir := fs.String("cache-dir", "d2t2d-cache", "artifact cache directory (empty = memory only)")
+	memMB := fs.Int("mem-cache-mb", 64, "in-memory artifact cache budget in MiB")
+	workers := fs.Int("workers", 0, "ingest worker count (0 = all cores)")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request timeout")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain bound")
+	version := fs.Bool("version", false, "print version and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Println("d2t2d", buildinfo.Version)
+		return nil
+	}
+
+	srv, err := serve.New(serve.Config{
+		CacheDir:       *cacheDir,
+		MemCacheBytes:  int64(*memMB) << 20,
+		Workers:        *workers,
+		RequestTimeout: *reqTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	// The daemon runs one server per process, so its metrics map can be
+	// published globally for the stdlib expvar handler ecosystem.
+	expvar.Publish("d2t2d", srv.Vars())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	fmt.Fprintf(os.Stderr, "d2t2d %s listening on %s (cache %q)\n", buildinfo.Version, *addr, *cacheDir)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "d2t2d: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return <-errc
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"d2t2/internal/buildinfo"
 	"d2t2/internal/experiments"
 )
 
@@ -30,7 +31,13 @@ func main() {
 	labels := flag.String("labels", "", "comma-separated matrix labels (default: suite)")
 	workers := flag.Int("workers", 0, "exec worker count (0 = all cores; results are identical for any value)")
 	format := flag.String("format", "text", "output format: text, md or json")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("expbench", buildinfo.Version)
+		return
+	}
 
 	suite := experiments.DefaultSuite()
 	if *quick {

@@ -109,6 +109,28 @@ func FromTNS(r io.Reader, dims []int) (*Tensor, error) {
 // ToTNS writes the tensor in FROSTT format.
 func (t *Tensor) ToTNS(w io.Writer) error { return mmio.WriteTNS(w, t.coo) }
 
+// FromStream reads a tensor from r, sniffing the on-disk format from the
+// stream itself (Matrix Market banner vs. FROSTT lines). This is the
+// ingest path of the d2t2d service: uploads are parsed straight off the
+// wire, never spooled to a temporary file.
+func FromStream(r io.Reader) (*Tensor, error) {
+	m, err := mmio.ReadAny(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Tensor{coo: m}, nil
+}
+
+// COO returns the tensor's underlying coordinate storage — shared, not
+// copied; callers must treat it as read-only. In-module service code
+// (internal/serve) uses it to hand tensors to the snapshot codec.
+func (t *Tensor) COO() *tensor.COO { return t.coo }
+
+// FromCOO wraps coordinate storage decoded from a snapshot artifact as a
+// public Tensor. The storage is shared, not copied, and must not be
+// mutated afterwards.
+func FromCOO(c *tensor.COO) *Tensor { return &Tensor{coo: c} }
+
 // Dataset synthesizes the named stand-in for one of the paper's
 // evaluation datasets (labels A..W of Table 2, or Table 5 names such as
 // "bwm2000"). scale divides the original dimensions; 1 is paper-sized.
@@ -153,6 +175,18 @@ func SDDMM() *Kernel { return &Kernel{expr: einsum.SDDMM()} }
 
 // String returns the kernel in TIN syntax.
 func (k *Kernel) String() string { return k.expr.String() }
+
+// InputOrders returns the tensor order of each distinct input operand,
+// keyed by operand name. Services use it to validate request inputs and
+// to size default dense tile buffers without reaching into the einsum
+// representation.
+func (k *Kernel) InputOrders() map[string]int {
+	out := make(map[string]int)
+	for _, ref := range k.expr.Inputs() {
+		out[ref.Name] = len(ref.Indices)
+	}
+	return out
+}
 
 // Inputs maps kernel tensor names to tensors.
 type Inputs map[string]*Tensor
@@ -199,8 +233,8 @@ type Plan struct {
 	inputs Inputs
 }
 
-// Optimize runs the D2T2 pipeline and returns the chosen plan.
-func Optimize(k *Kernel, inputs Inputs, opts Options) (*Plan, error) {
+// lower converts the public options to the optimizer's.
+func (opts Options) lower() optimizer.Options {
 	o := optimizer.Options{
 		BufferWords:  opts.BufferWords,
 		DisableCorrs: opts.DisableCorrs,
@@ -209,10 +243,11 @@ func Optimize(k *Kernel, inputs Inputs, opts Options) (*Plan, error) {
 	if opts.Analytic {
 		o.Mode = model.ModeAnalytic
 	}
-	res, err := optimizer.Optimize(k.expr, inputs.lower(), o)
-	if err != nil {
-		return nil, err
-	}
+	return o
+}
+
+// newPlan wraps an optimizer result as a public Plan.
+func newPlan(res *optimizer.Result, k *Kernel, inputs Inputs) *Plan {
 	cfg := make(TileConfig, len(res.Config))
 	for ix, v := range res.Config {
 		cfg[ix] = v
@@ -225,7 +260,16 @@ func Optimize(k *Kernel, inputs Inputs, opts Options) (*Plan, error) {
 		PredictedMB: res.Predicted.Total() * 4 / (1 << 20),
 		kernel:      k,
 		inputs:      inputs,
-	}, nil
+	}
+}
+
+// Optimize runs the D2T2 pipeline and returns the chosen plan.
+func Optimize(k *Kernel, inputs Inputs, opts Options) (*Plan, error) {
+	res, err := optimizer.Optimize(k.expr, inputs.lower(), opts.lower())
+	if err != nil {
+		return nil, err
+	}
+	return newPlan(res, k, inputs), nil
 }
 
 // OptimizeDataflow extends Optimize by also choosing the dataflow order:
@@ -234,31 +278,11 @@ func Optimize(k *Kernel, inputs Inputs, opts Options) (*Plan, error) {
 // the chosen order. The returned plan measures and executes under that
 // order.
 func OptimizeDataflow(k *Kernel, inputs Inputs, opts Options) (*Plan, []string, error) {
-	o := optimizer.Options{
-		BufferWords:  opts.BufferWords,
-		DisableCorrs: opts.DisableCorrs,
-		SkipResize:   opts.SkipResize,
-	}
-	if opts.Analytic {
-		o.Mode = model.ModeAnalytic
-	}
-	res, _, err := optimizer.SelectDataflow(k.expr, inputs.lower(), nil, o)
+	res, _, err := optimizer.SelectDataflow(k.expr, inputs.lower(), nil, opts.lower())
 	if err != nil {
 		return nil, nil, err
 	}
-	cfg := make(TileConfig, len(res.Config))
-	for ix, v := range res.Config {
-		cfg[ix] = v
-	}
-	plan := &Plan{
-		Config:      cfg,
-		BaseTile:    res.BaseTile,
-		RF:          res.RF,
-		TileFactor:  res.TileFactor,
-		PredictedMB: res.Predicted.Total() * 4 / (1 << 20),
-		kernel:      &Kernel{expr: res.Expr},
-		inputs:      inputs,
-	}
+	plan := newPlan(res, &Kernel{expr: res.Expr}, inputs)
 	return plan, append([]string(nil), res.Expr.Order...), nil
 }
 

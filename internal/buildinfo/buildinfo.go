@@ -1,0 +1,12 @@
+// Package buildinfo carries the version string stamped into the binaries
+// at link time:
+//
+//	go build -ldflags "-X d2t2/internal/buildinfo.Version=v1.2.3" ./cmd/...
+//
+// Unstamped builds report "dev". The CLIs expose it via -version and the
+// d2t2d server reports it in the X-D2T2-Version response header and on
+// /healthz.
+package buildinfo
+
+// Version is the build version, overridden via -ldflags -X.
+var Version = "dev"

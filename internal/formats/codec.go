@@ -1,0 +1,130 @@
+package formats
+
+import (
+	"fmt"
+
+	"d2t2/internal/wire"
+)
+
+// maxCodecLevels bounds the tensor order accepted by the decoder; far
+// above any real kernel, it keeps corrupted inputs from driving huge
+// per-level allocations.
+const maxCodecLevels = 16
+
+// AppendBinary appends the CSF's snapshot wire encoding to buf and
+// returns the extended slice. This is the encode hook the snapshot codec
+// uses; DecodeCSF reverses it. The encoding is canonical — encoding a
+// decoded CSF reproduces the input bytes exactly.
+func (c *CSF) AppendBinary(buf []byte) []byte {
+	buf = wire.AppendU8(buf, uint8(c.Levels()))
+	buf = wire.AppendInts(buf, c.Dims)
+	buf = wire.AppendInts(buf, c.Order)
+	for l := 0; l < c.Levels(); l++ {
+		buf = wire.AppendI32s(buf, c.Seg[l])
+		buf = wire.AppendI32s(buf, c.Crd[l])
+	}
+	return wire.AppendF64s(buf, c.Vals)
+}
+
+// DecodeCSF reads one CSF from r (as written by AppendBinary) and
+// validates the trie invariants, so a decoded CSF is safe to traverse
+// even when the input is corrupted or adversarial.
+func DecodeCSF(r *wire.Reader) (*CSF, error) {
+	lv := int(r.U8())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if lv < 1 || lv > maxCodecLevels {
+		return nil, fmt.Errorf("formats: decoded CSF has %d levels, want 1..%d", lv, maxCodecLevels)
+	}
+	c := &CSF{
+		Dims:  r.Ints(),
+		Order: r.Ints(),
+		Seg:   make([][]int32, lv),
+		Crd:   make([][]int32, lv),
+	}
+	for l := 0; l < lv; l++ {
+		c.Seg[l] = r.I32s()
+		c.Crd[l] = r.I32s()
+	}
+	c.Vals = r.F64s()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(c.Dims) != lv || len(c.Order) != lv {
+		return nil, fmt.Errorf("formats: decoded CSF arity mismatch: %d levels, %d dims, %d order",
+			lv, len(c.Dims), len(c.Order))
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Validate checks the CSF trie invariants: Order is a permutation of the
+// axes, segment arrays bound coordinate arrays level by level, fibers
+// hold strictly increasing in-range coordinates, and the value count
+// matches the leaf level. Builders establish these by construction; the
+// snapshot decoder re-establishes them for untrusted input.
+func (c *CSF) Validate() error {
+	lv := c.Levels()
+	if len(c.Order) != lv || len(c.Seg) != lv || len(c.Crd) != lv {
+		return fmt.Errorf("formats: CSF arity mismatch across Dims/Order/Seg/Crd")
+	}
+	seen := make([]bool, lv)
+	for _, a := range c.Order {
+		if a < 0 || a >= lv || seen[a] {
+			return fmt.Errorf("formats: CSF order %v is not a permutation of 0..%d", c.Order, lv-1)
+		}
+		seen[a] = true
+	}
+	for l, d := range c.Dims {
+		if d < 1 {
+			return fmt.Errorf("formats: CSF dimension %d at level %d", d, l)
+		}
+	}
+	if len(c.Vals) == 0 {
+		for l := 0; l < lv; l++ {
+			if len(c.Crd[l]) != 0 || len(c.Seg[l]) != 1 || c.Seg[l][0] != 0 {
+				return fmt.Errorf("formats: empty CSF has non-canonical level %d", l)
+			}
+		}
+		return nil
+	}
+	for l := 0; l < lv; l++ {
+		wantSeg := 2
+		if l > 0 {
+			wantSeg = len(c.Crd[l-1]) + 1
+		}
+		if len(c.Seg[l]) != wantSeg {
+			return fmt.Errorf("formats: level %d has %d segment bounds, want %d", l, len(c.Seg[l]), wantSeg)
+		}
+		if c.Seg[l][0] != 0 || int(c.Seg[l][wantSeg-1]) != len(c.Crd[l]) {
+			return fmt.Errorf("formats: level %d segment bounds do not span the coordinate array", l)
+		}
+		for i := 1; i < wantSeg; i++ {
+			if c.Seg[l][i] < c.Seg[l][i-1] {
+				return fmt.Errorf("formats: level %d segment bounds decrease at %d", l, i)
+			}
+		}
+		// Coordinates within each fiber are strictly increasing and in
+		// range — the sortedness every traversal assumes.
+		dim := c.Dims[l]
+		for f := 0; f+1 < wantSeg; f++ {
+			lo, hi := int(c.Seg[l][f]), int(c.Seg[l][f+1])
+			for p := lo; p < hi; p++ {
+				crd := c.Crd[l][p]
+				if crd < 0 || int(crd) >= dim {
+					return fmt.Errorf("formats: level %d coordinate %d out of range [0,%d)", l, crd, dim)
+				}
+				if p > lo && crd <= c.Crd[l][p-1] {
+					return fmt.Errorf("formats: level %d fiber %d not strictly increasing at %d", l, f, p)
+				}
+			}
+		}
+	}
+	if len(c.Vals) != len(c.Crd[lv-1]) {
+		return fmt.Errorf("formats: %d values for %d leaf coordinates", len(c.Vals), len(c.Crd[lv-1]))
+	}
+	return nil
+}

@@ -217,6 +217,24 @@ func ReadTNS(r io.Reader, dims []int) (*tensor.COO, error) {
 	return t, nil
 }
 
+// ReadAny reads a tensor from r, sniffing the format from the stream
+// itself: a %%MatrixMarket banner selects the Matrix Market reader,
+// anything else the FROSTT .tns reader (dims inferred). This is the
+// entry point for streamed uploads that arrive without a filename — the
+// stream is consumed directly, never spooled to a temporary file.
+func ReadAny(r io.Reader) (*tensor.COO, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	banner := "%%matrixmarket"
+	head, err := br.Peek(len(banner))
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if strings.EqualFold(string(head), banner) {
+		return ReadMatrixMarket(br)
+	}
+	return ReadTNS(br, nil)
+}
+
 // WriteTNS writes a tensor in FROSTT format.
 func WriteTNS(w io.Writer, t *tensor.COO) error {
 	bw := bufio.NewWriter(w)

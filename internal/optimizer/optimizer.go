@@ -61,6 +61,13 @@ type Options struct {
 	BaseTile int
 	// MaxGrowthDoublings bounds the greedy size growth (default 10).
 	MaxGrowthDoublings int
+	// Precollected supplies per-input statistics collected earlier (e.g.
+	// restored from a d2t2d snapshot artifact). An entry must have been
+	// collected at this optimization's conservative base tile and the
+	// kernel's level order for its input — mismatches are an error.
+	// Matching inputs skip the tile-and-collect phase entirely;
+	// Result.BaseTiling then has no entry for them.
+	Precollected map[string]*stats.Stats
 }
 
 func (o Options) withDefaults() Options {
@@ -118,21 +125,14 @@ func Optimize(e *einsum.Expr, inputs map[string]*tensor.COO, opts Options) (*Res
 
 	// 1. Conservative base tile: square across every index variable,
 	// sized so the highest-order input's dense tile fits.
-	maxOrder := 0
 	for _, ref := range e.Inputs() {
-		if inputs[ref.Name] == nil {
+		if inputs[ref.Name] == nil && o.Precollected[ref.Name] == nil {
 			return nil, fmt.Errorf("optimizer: missing input %q", ref.Name)
 		}
-		if len(ref.Indices) > maxOrder {
-			maxOrder = len(ref.Indices)
-		}
 	}
-	baseTile := o.BaseTile
-	if baseTile == 0 {
-		baseTile = tiling.ConservativeSquare(o.BufferWords, maxOrder)
-	}
-	if baseTile < 1 {
-		return nil, fmt.Errorf("optimizer: buffer of %d words cannot hold any tile", o.BufferWords)
+	baseTile, err := o.ConservativeBase(e)
+	if err != nil {
+		return nil, err
 	}
 
 	// 2. Initial tiling + statistics collection.
@@ -149,6 +149,13 @@ func Optimize(e *einsum.Expr, inputs map[string]*tensor.COO, opts Options) (*Res
 		base := make([]int, len(ref.Indices))
 		for a := range base {
 			base[a] = baseTile
+		}
+		if st := o.Precollected[ref.Name]; st != nil {
+			if err := precollectedMatches(st, base, e.LevelOrder(ref)); err != nil {
+				return nil, fmt.Errorf("optimizer: precollected stats for %q: %w", ref.Name, err)
+			}
+			res.Stats[ref.Name] = st
+			continue
 		}
 		s, tt, err := stats.Collect(inputs[ref.Name], base, e.LevelOrder(ref),
 			&stats.Options{MicroDiv: o.MicroDiv})
@@ -229,6 +236,54 @@ func Optimize(e *einsum.Expr, inputs map[string]*tensor.COO, opts Options) (*Res
 		res.Predicted = p
 	}
 	return res, nil
+}
+
+// ConservativeBase returns the conservative square base tile dimension
+// Optimize derives for kernel e under these options: Options.BaseTile if
+// set, otherwise the largest power-of-two square whose dense tile of the
+// kernel's highest-order input fits BufferWords. Exported so callers that
+// collect (or cache) statistics ahead of Optimize — the d2t2d Session
+// path — can key them by the exact tiling Optimize will require.
+func (o Options) ConservativeBase(e *einsum.Expr) (int, error) {
+	if o.BufferWords <= 0 {
+		return 0, fmt.Errorf("optimizer: BufferWords must be positive")
+	}
+	maxOrder := 0
+	for _, ref := range e.Inputs() {
+		if len(ref.Indices) > maxOrder {
+			maxOrder = len(ref.Indices)
+		}
+	}
+	baseTile := o.BaseTile
+	if baseTile == 0 {
+		baseTile = tiling.ConservativeSquare(o.BufferWords, maxOrder)
+	}
+	if baseTile < 1 {
+		return 0, fmt.Errorf("optimizer: buffer of %d words cannot hold any tile", o.BufferWords)
+	}
+	return baseTile, nil
+}
+
+// precollectedMatches verifies supplied statistics were collected at the
+// base tiling and level order this optimization requires.
+func precollectedMatches(st *stats.Stats, base, order []int) error {
+	if len(st.BaseTileDims) != len(base) {
+		return fmt.Errorf("collected for an order-%d tensor, need order %d", len(st.BaseTileDims), len(base))
+	}
+	for a := range base {
+		if st.BaseTileDims[a] != base[a] {
+			return fmt.Errorf("collected at base tile %v, need %v", st.BaseTileDims, base)
+		}
+	}
+	if len(st.Order) != len(order) {
+		return fmt.Errorf("collected with %d levels, need %d", len(st.Order), len(order))
+	}
+	for l := range order {
+		if st.Order[l] != order[l] {
+			return fmt.Errorf("collected in level order %v, need %v", st.Order, order)
+		}
+	}
+	return nil
 }
 
 // shapeAxes picks the index scaled up (the outermost output index in the

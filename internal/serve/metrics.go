@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"expvar"
+	"fmt"
+	"time"
+)
+
+// counterNames are pre-registered so /debug/vars reports explicit zeros
+// for counters that have not fired yet — dashboards and the e2e tests
+// can difference them without existence checks.
+var counterNames = []string{
+	"ingest_total",
+	"ingest_errors",
+	"tensors_registered",
+	"artifact_mem_hits",
+	"artifact_disk_hits",
+	"artifact_misses",
+	"stats_collect_total",
+	"optimize_total",
+	"optimize_cache_hits",
+	"predict_total",
+	"predict_cache_hits",
+	"stats_queries_total",
+	"bytes_served",
+	"http_errors",
+}
+
+// latencyBucketsMs are the upper bounds (inclusive, milliseconds) of the
+// optimize-latency histogram; the final bucket is unbounded.
+var latencyBucketsMs = []int64{1, 5, 25, 100, 500, 2500}
+
+// metrics is a per-server expvar surface. The map is Init'd but never
+// expvar.Publish'd under a fixed name: tests start many servers in one
+// process and a global Publish of a duplicate name panics. cmd/d2t2d
+// publishes its single server's map explicitly.
+type metrics struct {
+	vars *expvar.Map
+}
+
+func newMetrics() *metrics {
+	m := &metrics{vars: new(expvar.Map).Init()}
+	for _, name := range counterNames {
+		m.vars.Add(name, 0)
+	}
+	for _, b := range latencyBucketsMs {
+		m.vars.Add(latencyBucket(b), 0)
+	}
+	m.vars.Add("optimize_latency_ms_gt_2500", 0)
+	return m
+}
+
+func latencyBucket(upperMs int64) string {
+	return fmt.Sprintf("optimize_latency_ms_le_%d", upperMs)
+}
+
+func (m *metrics) add(name string, delta int64) { m.vars.Add(name, delta) }
+
+// observeLatency records one optimize duration in the histogram.
+// Buckets are cumulative (Prometheus-style): a 3 ms request increments
+// le_5, le_25, ... through the unbounded tail's predecessors.
+func (m *metrics) observeLatency(d time.Duration) {
+	ms := d.Milliseconds()
+	hit := false
+	for _, b := range latencyBucketsMs {
+		if ms <= b {
+			m.vars.Add(latencyBucket(b), 1)
+			hit = true
+		}
+	}
+	if !hit {
+		m.vars.Add("optimize_latency_ms_gt_2500", 1)
+	}
+}
+
+// get returns a counter's current value (0 if never touched); tests
+// difference these across requests.
+func (m *metrics) get(name string) int64 {
+	v := m.vars.Get(name)
+	if v == nil {
+		return 0
+	}
+	i, ok := v.(*expvar.Int)
+	if !ok {
+		return 0
+	}
+	return i.Value()
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrShuttingDown is returned for work submitted after shutdown began.
+var ErrShuttingDown = errors.New("serve: shutting down")
+
+// pool is a bounded worker pool for ingest jobs: parsing an uploaded
+// tensor and collecting its statistics is CPU-bound, so at most n run at
+// once no matter how many uploads are in flight. The jobs channel is
+// unbuffered — a successful send means a worker holds the job, so
+// shutdown can never strand an accepted job in a buffer.
+type pool struct {
+	jobs chan func()
+	quit chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+func newPool(n int) *pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &pool{
+		jobs: make(chan func()),
+		quit: make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case job := <-p.jobs:
+					job()
+				case <-p.quit:
+					return
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// run submits job and blocks until it completes or ctx expires while the
+// job is still queued or running. A ctx expiry after hand-off does not
+// cancel the job itself — the worker finishes it (results land in the
+// cache for the retry); only the caller stops waiting.
+func (p *pool) run(ctx context.Context, job func()) error {
+	done := make(chan struct{})
+	wrapped := func() {
+		defer close(done)
+		job()
+	}
+	select {
+	case p.jobs <- wrapped:
+	case <-p.quit:
+		return ErrShuttingDown
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// shutdown stops accepting work and waits for every worker to exit.
+// Safe to call more than once.
+func (p *pool) shutdown() {
+	p.once.Do(func() { close(p.quit) })
+	p.wg.Wait()
+}

@@ -1,0 +1,666 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"d2t2"
+	"d2t2/internal/buildinfo"
+	"d2t2/internal/snapshot"
+	"d2t2/internal/stats"
+	"d2t2/internal/tiling"
+)
+
+// Config tunes a Server. The zero value is usable: in-memory cache only,
+// GOMAXPROCS ingest workers, 30 s request timeout.
+type Config struct {
+	// CacheDir roots the on-disk artifact cache; "" keeps artifacts in
+	// memory only.
+	CacheDir string
+	// MemCacheBytes bounds the in-memory artifact layer (default 64 MiB).
+	MemCacheBytes int64
+	// Workers bounds concurrent ingest jobs (default GOMAXPROCS).
+	Workers int
+	// RequestTimeout bounds each request's queue wait plus the time the
+	// client is kept waiting for a result (default 30 s). Work already
+	// handed to a worker runs to completion either way — its artifacts
+	// land in the cache for the retry.
+	RequestTimeout time.Duration
+	// MaxUploadBytes bounds one tensor upload (default 256 MiB).
+	MaxUploadBytes int64
+	// DefaultStatsTile is the conservative square tile used when a
+	// predict or stats request does not name one (default 128, the
+	// paper's sweep midpoint).
+	DefaultStatsTile int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemCacheBytes == 0 {
+		c.MemCacheBytes = 64 << 20
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 256 << 20
+	}
+	if c.DefaultStatsTile <= 0 {
+		c.DefaultStatsTile = 128
+	}
+	return c
+}
+
+// Server is the d2t2d optimizer service. Create one with New, mount
+// Handler on an HTTP server (or call ListenAndServe), and stop it with
+// Shutdown. All state — the tensor registry, the artifact store, the
+// statistics session — is per-Server, so tests can run many in one
+// process.
+type Server struct {
+	cfg     Config
+	store   *Store
+	session *d2t2.Session
+	pool    *pool
+	metrics *metrics
+	mux     *http.ServeMux
+
+	mu      sync.Mutex
+	tensors map[string]*d2t2.Tensor // content address -> registered tensor
+	httpSrv *http.Server
+}
+
+// New builds a server from cfg (see Config for defaults).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	store, err := NewStore(cfg.CacheDir, cfg.MemCacheBytes)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		store:   store,
+		pool:    newPool(cfg.Workers),
+		metrics: newMetrics(),
+		tensors: make(map[string]*d2t2.Tensor),
+	}
+	s.session = d2t2.NewSession(&storeCache{s: s})
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tensors", s.handleIngest)
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("GET /v1/tensors/{id}/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler: the route mux wrapped with
+// the version header and the per-request timeout.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-D2T2-Version", buildinfo.Version)
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		s.mux.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// ListenAndServe runs the service on addr until Shutdown. A clean
+// shutdown returns nil.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	s.mu.Lock()
+	s.httpSrv = srv
+	s.mu.Unlock()
+	err := srv.ListenAndServe()
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the service gracefully: the HTTP server (when started
+// via ListenAndServe) stops accepting and drains in-flight handlers
+// bounded by ctx, then the ingest pool stops and every worker is joined.
+// Requests that race past the drain are refused with 503.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+	}
+	s.pool.shutdown()
+	return err
+}
+
+// Metric returns a counter's current value — the e2e tests difference
+// these to prove the warm path skipped collection.
+func (s *Server) Metric(name string) int64 { return s.metrics.get(name) }
+
+// Vars exposes the server's expvar map so a single-server process
+// (cmd/d2t2d) can publish it globally.
+func (s *Server) Vars() expvar.Var { return s.metrics.vars }
+
+// storeGet reads an artifact and counts which layer served it.
+func (s *Server) storeGet(key string) ([]byte, Source) {
+	b, src, err := s.store.Get(key)
+	if err != nil || b == nil {
+		s.metrics.add("artifact_misses", 1)
+		return nil, SourceNone
+	}
+	switch src {
+	case SourceMem:
+		s.metrics.add("artifact_mem_hits", 1)
+	case SourceDisk:
+		s.metrics.add("artifact_disk_hits", 1)
+	}
+	return b, src
+}
+
+// storeCache plugs the artifact store into the d2t2 Session as its
+// statistics cache. StoreStats only runs after an actual collection, so
+// stats_collect_total counts real tile-and-collect work — the counter
+// the e2e test asserts stays flat across warm requests.
+type storeCache struct {
+	s *Server
+}
+
+func (c *storeCache) LoadStats(key string) (*stats.Stats, bool) {
+	b, _ := c.s.storeGet(key)
+	if b == nil {
+		return nil, false
+	}
+	a, err := snapshot.DecodeBytes(b)
+	if err != nil || a.Stats == nil {
+		return nil, false
+	}
+	return a.Stats, true
+}
+
+func (c *storeCache) StoreStats(key string, st *stats.Stats, tiled *tiling.TiledTensor) {
+	c.s.metrics.add("stats_collect_total", 1)
+	b, err := snapshot.EncodeBytes(&snapshot.Artifact{Stats: st, Tiled: tiled})
+	if err != nil {
+		return
+	}
+	// Best effort: a failed persist only costs a future re-collection.
+	_ = c.s.store.Put(key, b)
+}
+
+// ---- request/response shapes ----
+
+type genSpec struct {
+	Label string `json:"label"`
+	Scale int    `json:"scale"`
+}
+
+type ingestRequest struct {
+	Gen *genSpec `json:"gen"`
+}
+
+type ingestResponse struct {
+	ID     string `json:"id"`
+	Dims   []int  `json:"dims"`
+	NNZ    int    `json:"nnz"`
+	Cached bool   `json:"cached"`
+}
+
+type optimizeRequest struct {
+	// Kernel is tensor index notation, e.g.
+	// "C(i,j) = A(i,k) * B(k,j) | order: i,k,j".
+	Kernel string `json:"kernel"`
+	// Inputs maps operand names to ingested tensor content addresses.
+	Inputs map[string]string `json:"inputs"`
+	// Tile sizes the buffer as a dense square tile of this side when
+	// BufferWords is zero (default 128).
+	Tile         int  `json:"tile,omitempty"`
+	BufferWords  int  `json:"bufferWords,omitempty"`
+	Analytic     bool `json:"analytic,omitempty"`
+	DisableCorrs bool `json:"disableCorrs,omitempty"`
+	SkipResize   bool `json:"skipResize,omitempty"`
+	// Measure additionally executes the plan and reports exact traffic.
+	Measure bool `json:"measure,omitempty"`
+}
+
+type optimizeResponse struct {
+	Kernel      string         `json:"kernel"`
+	Config      map[string]int `json:"config"`
+	BaseTile    int            `json:"baseTile"`
+	RF          float64        `json:"rf"`
+	TileFactor  int            `json:"tileFactor"`
+	PredictedMB float64        `json:"predictedMB"`
+	MeasuredMB  *float64       `json:"measuredMB,omitempty"`
+}
+
+type predictRequest struct {
+	Kernel    string            `json:"kernel"`
+	Inputs    map[string]string `json:"inputs"`
+	Config    map[string]int    `json:"config"`
+	StatsTile int               `json:"statsTile,omitempty"`
+}
+
+type predictResponse struct {
+	PredictedMB float64 `json:"predictedMB"`
+}
+
+type statsResponse struct {
+	ID        string    `json:"id"`
+	Tile      int       `json:"tile"`
+	SizeTile  float64   `json:"sizeTile"`
+	MaxTile   int       `json:"maxTile"`
+	NumTiles  int       `json:"numTiles"`
+	PrTileIdx []float64 `json:"prTileIdx"`
+	ProbIndex []float64 `json:"probIndex"`
+	CorrSums  []float64 `json:"corrSums"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.metrics.add("ingest_total", 1)
+	var resp ingestResponse
+	var jobErr error
+	job := func() { resp, jobErr = s.ingest(r) }
+	if err := s.pool.run(r.Context(), job); err != nil {
+		s.metrics.add("ingest_errors", 1)
+		s.writeError(w, poolStatus(err), err)
+		return
+	}
+	if jobErr != nil {
+		s.metrics.add("ingest_errors", 1)
+		s.writeError(w, http.StatusBadRequest, jobErr)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ingest parses one upload (raw .mtx/.tns body, or a JSON internal/gen
+// spec), registers it under its content address, and persists the tensor
+// artifact. Runs on an ingest worker.
+func (s *Server) ingest(r *http.Request) (ingestResponse, error) {
+	var t *d2t2.Tensor
+	if isJSON(r) {
+		var req ingestRequest
+		if err := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20)).Decode(&req); err != nil {
+			return ingestResponse{}, fmt.Errorf("decode request: %w", err)
+		}
+		if req.Gen == nil {
+			return ingestResponse{}, fmt.Errorf("JSON ingest requires a \"gen\" spec")
+		}
+		var err error
+		t, err = d2t2.Dataset(req.Gen.Label, req.Gen.Scale)
+		if err != nil {
+			return ingestResponse{}, err
+		}
+	} else {
+		var err error
+		t, err = d2t2.FromStream(http.MaxBytesReader(nil, r.Body, s.cfg.MaxUploadBytes))
+		if err != nil {
+			return ingestResponse{}, err
+		}
+	}
+	t.Normalize()
+	id, err := s.session.TensorID(t)
+	if err != nil {
+		return ingestResponse{}, err
+	}
+
+	s.mu.Lock()
+	existing, ok := s.tensors[id]
+	if !ok {
+		s.tensors[id] = t
+	}
+	s.mu.Unlock()
+	if ok {
+		// Same content address, same canonical tensor: keep the first
+		// registration so the session memo stays keyed to one value.
+		t = existing
+	} else {
+		s.metrics.add("tensors_registered", 1)
+	}
+
+	cached := ok
+	if !cached {
+		if b, _ := s.storeGet(id); b != nil {
+			cached = true
+		} else if b, err := snapshot.EncodeBytes(&snapshot.Artifact{Tensor: t.COO()}); err == nil {
+			_ = s.store.Put(id, b)
+		}
+	}
+	return ingestResponse{ID: id, Dims: t.Dims(), NNZ: t.NNZ(), Cached: cached}, nil
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.metrics.observeLatency(time.Since(start)) }()
+	s.metrics.add("optimize_total", 1)
+
+	var req optimizeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	k, err := d2t2.ParseKernel(req.Kernel)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	orders := k.InputOrders()
+	if req.BufferWords <= 0 {
+		tile := req.Tile
+		if tile <= 0 {
+			tile = s.cfg.DefaultStatsTile
+		}
+		req.BufferWords = denseSquareWords(tile, maxOrder(orders))
+	}
+	req.Tile = 0
+	req.Kernel = k.String()
+
+	key, err := responseKey("optimize", req)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if s.serveCachedResponse(w, key, "optimize_cache_hits") {
+		return
+	}
+
+	inputs, err := s.resolveInputs(orders, req.Inputs)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	plan, err := s.session.Optimize(k, inputs, d2t2.Options{
+		BufferWords:  req.BufferWords,
+		Analytic:     req.Analytic,
+		DisableCorrs: req.DisableCorrs,
+		SkipResize:   req.SkipResize,
+	})
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := optimizeResponse{
+		Kernel:      req.Kernel,
+		Config:      plan.Config,
+		BaseTile:    plan.BaseTile,
+		RF:          plan.RF,
+		TileFactor:  plan.TileFactor,
+		PredictedMB: plan.PredictedMB,
+	}
+	if req.Measure {
+		report, err := plan.Measure()
+		if err != nil {
+			s.writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		mb := report.TotalMB()
+		resp.MeasuredMB = &mb
+	}
+	s.writeCachedResponse(w, key, resp)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.metrics.add("predict_total", 1)
+	var req predictRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	k, err := d2t2.ParseKernel(req.Kernel)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.StatsTile <= 0 {
+		req.StatsTile = s.cfg.DefaultStatsTile
+	}
+	req.Kernel = k.String()
+
+	key, err := responseKey("predict", req)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if s.serveCachedResponse(w, key, "predict_cache_hits") {
+		return
+	}
+
+	inputs, err := s.resolveInputs(k.InputOrders(), req.Inputs)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	mb, err := s.session.Predict(k, inputs, d2t2.TileConfig(req.Config), req.StatsTile)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.writeCachedResponse(w, key, predictResponse{PredictedMB: mb})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.metrics.add("stats_queries_total", 1)
+	id := r.PathValue("id")
+	tile := s.cfg.DefaultStatsTile
+	if q := r.URL.Query().Get("tile"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad tile %q", q))
+			return
+		}
+		tile = v
+	}
+	t, err := s.tensorByID(id)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	sum, err := s.session.Stats(t, tile)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, statsResponse{
+		ID:        id,
+		Tile:      tile,
+		SizeTile:  sum.SizeTile,
+		MaxTile:   sum.MaxTile,
+		NumTiles:  sum.NumTiles,
+		PrTileIdx: sum.PrTileIdx,
+		ProbIndex: sum.ProbIndex,
+		CorrSums:  sum.CorrSums,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.tensors)
+	s.mu.Unlock()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"version": buildinfo.Version,
+		"tensors": n,
+	})
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	body := fmt.Sprintf("{\"version\": %q, \"d2t2d\": %s}\n", buildinfo.Version, s.metrics.vars.String())
+	s.metrics.add("bytes_served", int64(len(body)))
+	fmt.Fprint(w, body)
+}
+
+// ---- plumbing ----
+
+// responseKey derives the content address of a canonical request: the
+// struct is re-marshaled after defaults are applied and the kernel is
+// normalized, so equivalent requests collide onto one cached response.
+func responseKey(endpoint string, req any) (string, error) {
+	canon, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	return snapshot.ResponseKey(endpoint, canon), nil
+}
+
+// serveCachedResponse replies with the cached response body for key when
+// present. Cache status travels in the X-D2T2-Cache header, never in the
+// body, so cold and warm responses are byte-identical.
+func (s *Server) serveCachedResponse(w http.ResponseWriter, key, counter string) bool {
+	b, _ := s.storeGet(key)
+	if b == nil {
+		return false
+	}
+	a, err := snapshot.DecodeBytes(b)
+	if err != nil || a.Response == nil {
+		return false
+	}
+	s.metrics.add(counter, 1)
+	w.Header().Set("X-D2T2-Cache", "hit")
+	w.Header().Set("Content-Type", "application/json")
+	s.metrics.add("bytes_served", int64(len(a.Response)))
+	w.Write(a.Response)
+	return true
+}
+
+// writeCachedResponse marshals resp once, persists it as a RESP artifact
+// under key, and serves those exact bytes with X-D2T2-Cache: miss.
+func (s *Server) writeCachedResponse(w http.ResponseWriter, key string, resp any) {
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	body = append(body, '\n')
+	if b, err := snapshot.EncodeBytes(&snapshot.Artifact{Response: body}); err == nil {
+		_ = s.store.Put(key, b)
+	}
+	w.Header().Set("X-D2T2-Cache", "miss")
+	w.Header().Set("Content-Type", "application/json")
+	s.metrics.add("bytes_served", int64(len(body)))
+	w.Write(body)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	s.metrics.add("bytes_served", int64(len(body)))
+	w.Write(body)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.metrics.add("http_errors", 1)
+	body, merr := json.Marshal(map[string]string{"error": err.Error()})
+	if merr != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	s.metrics.add("bytes_served", int64(len(body)))
+	w.Write(body)
+}
+
+// resolveInputs maps operand names to registered tensors, loading tensor
+// artifacts from the store for addresses registered by an earlier
+// process life.
+func (s *Server) resolveInputs(orders map[string]int, ids map[string]string) (d2t2.Inputs, error) {
+	inputs := make(d2t2.Inputs, len(ids))
+	for name := range orders {
+		id, ok := ids[name]
+		if !ok {
+			return nil, fmt.Errorf("missing input %q", name)
+		}
+		t, err := s.tensorByID(id)
+		if err != nil {
+			return nil, err
+		}
+		inputs[name] = t
+	}
+	return inputs, nil
+}
+
+// tensorByID returns the registered tensor for a content address,
+// falling back to the artifact store (a persisted ingest from a previous
+// run of the daemon).
+func (s *Server) tensorByID(id string) (*d2t2.Tensor, error) {
+	s.mu.Lock()
+	t, ok := s.tensors[id]
+	s.mu.Unlock()
+	if ok {
+		return t, nil
+	}
+	b, _ := s.storeGet(id)
+	if b == nil {
+		return nil, fmt.Errorf("unknown tensor %q", id)
+	}
+	a, err := snapshot.DecodeBytes(b)
+	if err != nil {
+		return nil, fmt.Errorf("tensor artifact %q: %w", id, err)
+	}
+	if a.Tensor == nil {
+		return nil, fmt.Errorf("artifact %q holds no tensor", id)
+	}
+	t = d2t2.FromCOO(a.Tensor)
+	s.mu.Lock()
+	if prior, ok := s.tensors[id]; ok {
+		t = prior // lost the reload race; keep one canonical value
+	} else {
+		s.tensors[id] = t
+		s.metrics.add("tensors_registered", 1)
+	}
+	s.mu.Unlock()
+	return t, nil
+}
+
+func isJSON(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return ct == "application/json" || (len(ct) > 16 && ct[:16] == "application/json")
+}
+
+func poolStatus(err error) int {
+	if err == ErrShuttingDown {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusGatewayTimeout
+}
+
+func maxOrder(orders map[string]int) int {
+	max := 2
+	for _, n := range orders {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// denseSquareWords sizes a buffer for a dense square tile of the given
+// side and order, like the CLI's -tile flag.
+func denseSquareWords(tile, order int) int {
+	dims := make([]int, order)
+	for i := range dims {
+		dims[i] = tile
+	}
+	return d2t2.DenseTileWords(dims...)
+}

@@ -1,0 +1,457 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const testKernel = "C(i,j) = A(i,k) * B(k,j) | order: i,k,j"
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.CacheDir == "" {
+		cfg.CacheDir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Shutdown(context.Background())
+	})
+	return s, ts
+}
+
+func postJSON(t testing.TB, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	enc, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(enc))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, data
+}
+
+func ingestGen(t testing.TB, url, label string, scale int) string {
+	t.Helper()
+	resp, body := postJSON(t, url+"/v1/tensors", map[string]any{
+		"gen": map[string]any{"label": label, "scale": scale},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", resp.StatusCode, body)
+	}
+	var ir struct {
+		ID  string `json:"id"`
+		NNZ int    `json:"nnz"`
+	}
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatalf("ingest response: %v", err)
+	}
+	if !strings.HasPrefix(ir.ID, "sha256:") || ir.NNZ == 0 {
+		t.Fatalf("implausible ingest response: %s", body)
+	}
+	return ir.ID
+}
+
+// TestEndToEnd drives the full service flow: ingest, cold optimize, warm
+// optimize, predict, stats. The warm optimize must be byte-identical to
+// the cold one and must skip tiling and collection entirely, which the
+// expvar counters prove: optimize_cache_hits rises by one while
+// stats_collect_total stays flat.
+func TestEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	id := ingestGen(t, ts.URL, "C", 1<<20)
+
+	// Re-ingesting identical content is a cache hit on the same address.
+	resp, body := postJSON(t, ts.URL+"/v1/tensors", map[string]any{
+		"gen": map[string]any{"label": "C", "scale": 1 << 20},
+	})
+	var again struct {
+		ID     string `json:"id"`
+		Cached bool   `json:"cached"`
+	}
+	if err := json.Unmarshal(body, &again); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-ingest: status %d err %v: %s", resp.StatusCode, err, body)
+	}
+	if again.ID != id || !again.Cached {
+		t.Fatalf("re-ingest not content-addressed: %s", body)
+	}
+
+	optReq := map[string]any{
+		"kernel": testKernel,
+		"inputs": map[string]string{"A": id, "B": id},
+		"tile":   32,
+	}
+	cold, coldBody := postJSON(t, ts.URL+"/v1/optimize", optReq)
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("cold optimize: status %d: %s", cold.StatusCode, coldBody)
+	}
+	if got := cold.Header.Get("X-D2T2-Cache"); got != "miss" {
+		t.Fatalf("cold optimize cache header %q, want miss", got)
+	}
+	if cold.Header.Get("X-D2T2-Version") == "" {
+		t.Fatalf("version header missing")
+	}
+	collects := s.Metric("stats_collect_total")
+	if collects == 0 {
+		t.Fatalf("cold optimize performed no collections")
+	}
+	hits := s.Metric("optimize_cache_hits")
+
+	warm, warmBody := postJSON(t, ts.URL+"/v1/optimize", optReq)
+	if warm.StatusCode != http.StatusOK {
+		t.Fatalf("warm optimize: status %d: %s", warm.StatusCode, warmBody)
+	}
+	if got := warm.Header.Get("X-D2T2-Cache"); got != "hit" {
+		t.Fatalf("warm optimize cache header %q, want hit", got)
+	}
+	if !bytes.Equal(coldBody, warmBody) {
+		t.Fatalf("warm response differs from cold:\ncold: %s\nwarm: %s", coldBody, warmBody)
+	}
+	if got := s.Metric("optimize_cache_hits"); got != hits+1 {
+		t.Fatalf("optimize_cache_hits = %d, want %d", got, hits+1)
+	}
+	if got := s.Metric("stats_collect_total"); got != collects {
+		t.Fatalf("warm optimize re-collected statistics: %d -> %d", collects, got)
+	}
+
+	var plan struct {
+		Config      map[string]int `json:"config"`
+		PredictedMB float64        `json:"predictedMB"`
+	}
+	if err := json.Unmarshal(coldBody, &plan); err != nil {
+		t.Fatalf("optimize response: %v", err)
+	}
+	if len(plan.Config) != 3 || plan.PredictedMB <= 0 {
+		t.Fatalf("implausible plan: %s", coldBody)
+	}
+
+	// A different query against the same tensors reuses the statistics
+	// artifacts even though its response is not cached yet.
+	resp, body = postJSON(t, ts.URL+"/v1/predict", map[string]any{
+		"kernel":    testKernel,
+		"inputs":    map[string]string{"A": id, "B": id},
+		"config":    map[string]int{"i": 16, "k": 16, "j": 16},
+		"statsTile": 32,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: status %d: %s", resp.StatusCode, body)
+	}
+	if got := s.Metric("stats_collect_total"); got != collects {
+		t.Fatalf("predict re-collected statistics at the optimizer's tiling: %d -> %d", collects, got)
+	}
+	var pr struct {
+		PredictedMB float64 `json:"predictedMB"`
+	}
+	if err := json.Unmarshal(body, &pr); err != nil || pr.PredictedMB <= 0 {
+		t.Fatalf("implausible prediction: %s", body)
+	}
+
+	// Warm predict is served from the response cache.
+	resp, body2 := postJSON(t, ts.URL+"/v1/predict", map[string]any{
+		"kernel":    testKernel,
+		"inputs":    map[string]string{"A": id, "B": id},
+		"config":    map[string]int{"i": 16, "k": 16, "j": 16},
+		"statsTile": 32,
+	})
+	if resp.Header.Get("X-D2T2-Cache") != "hit" || !bytes.Equal(body, body2) {
+		t.Fatalf("warm predict not cached byte-identically")
+	}
+
+	// Stats summary endpoint.
+	sr, err := http.Get(ts.URL + "/v1/tensors/" + id + "/stats?tile=32")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	body, _ = io.ReadAll(sr.Body)
+	sr.Body.Close()
+	if sr.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d: %s", sr.StatusCode, body)
+	}
+	var sum struct {
+		SizeTile float64 `json:"sizeTile"`
+		NumTiles int     `json:"numTiles"`
+	}
+	if err := json.Unmarshal(body, &sum); err != nil || sum.SizeTile <= 0 || sum.NumTiles <= 0 {
+		t.Fatalf("implausible stats summary: %s", body)
+	}
+}
+
+// TestWarmAcrossRestart proves persistence: a second server over the same
+// cache directory serves the optimize response and tensor artifact from
+// disk without re-ingesting or re-collecting.
+func TestWarmAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Config{CacheDir: dir})
+	id := ingestGen(t, ts1.URL, "C", 1<<20)
+	optReq := map[string]any{
+		"kernel": testKernel,
+		"inputs": map[string]string{"A": id, "B": id},
+		"tile":   32,
+	}
+	cold, coldBody := postJSON(t, ts1.URL+"/v1/optimize", optReq)
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("cold optimize: %d", cold.StatusCode)
+	}
+	ts1.Close()
+
+	s2, ts2 := newTestServer(t, Config{CacheDir: dir})
+	warm, warmBody := postJSON(t, ts2.URL+"/v1/optimize", optReq)
+	if warm.StatusCode != http.StatusOK {
+		t.Fatalf("restarted optimize: status %d: %s", warm.StatusCode, warmBody)
+	}
+	if warm.Header.Get("X-D2T2-Cache") != "hit" || !bytes.Equal(coldBody, warmBody) {
+		t.Fatalf("restart lost the response cache")
+	}
+	if got := s2.Metric("stats_collect_total"); got != 0 {
+		t.Fatalf("restarted server re-collected: %d", got)
+	}
+
+	// The tensor artifact also survives: a stats query for the ingested
+	// address works without a fresh ingest.
+	sr, err := http.Get(ts2.URL + "/v1/tensors/" + id + "/stats?tile=32")
+	if err != nil || sr.StatusCode != http.StatusOK {
+		t.Fatalf("stats after restart: %v %d", err, sr.StatusCode)
+	}
+	sr.Body.Close()
+}
+
+func TestRawUploadIngest(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	mtx := "%%MatrixMarket matrix coordinate real general\n4 4 3\n1 1 1.0\n2 3 2.0\n4 4 3.0\n"
+	resp, err := http.Post(ts.URL+"/v1/tensors", "text/plain", strings.NewReader(mtx))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: status %d: %s", resp.StatusCode, body)
+	}
+	var ir struct {
+		ID   string `json:"id"`
+		Dims []int  `json:"dims"`
+		NNZ  int    `json:"nnz"`
+	}
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatalf("response: %v", err)
+	}
+	if ir.NNZ != 3 || len(ir.Dims) != 2 || ir.Dims[0] != 4 {
+		t.Fatalf("wrong parse: %s", body)
+	}
+
+	// The same matrix as a .tns upload lands on a different address only
+	// because TNS infers tight dims; the parse itself must succeed.
+	tns := "1 1 1.0\n2 3 2.0\n4 4 3.0\n"
+	resp, err = http.Post(ts.URL+"/v1/tensors", "text/plain", strings.NewReader(tns))
+	if err != nil {
+		t.Fatalf("tns upload: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tns upload: status %d", resp.StatusCode)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name   string
+		path   string
+		body   string
+		status int
+	}{
+		{"bad json", "/v1/optimize", "{", http.StatusBadRequest},
+		{"bad kernel", "/v1/optimize", `{"kernel":"nonsense","inputs":{}}`, http.StatusBadRequest},
+		{"unknown tensor", "/v1/optimize",
+			`{"kernel":"C(i,j) = A(i,k) * B(k,j) | order: i,k,j","inputs":{"A":"sha256:` + strings.Repeat("0", 64) + `","B":"sha256:` + strings.Repeat("0", 64) + `"}}`,
+			http.StatusNotFound},
+		{"missing input", "/v1/optimize",
+			`{"kernel":"C(i,j) = A(i,k) * B(k,j) | order: i,k,j","inputs":{}}`,
+			http.StatusNotFound},
+		{"bad gen label", "/v1/tensors", `{"gen":{"label":"no-such-label","scale":1}}`, http.StatusBadRequest},
+		{"no gen spec", "/v1/tensors", `{}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body not JSON: %s", tc.name, body)
+		}
+	}
+	if s.Metric("http_errors") == 0 {
+		t.Errorf("http_errors counter never moved")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/tensors/not-an-address/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("stats for bogus id: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHealthzAndVars(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var hz struct {
+		Status  string `json:"status"`
+		Version string `json:"version"`
+	}
+	if err := json.Unmarshal(body, &hz); err != nil || hz.Status != "ok" || hz.Version == "" {
+		t.Fatalf("healthz: %s (err %v)", body, err)
+	}
+	if resp.Header.Get("X-D2T2-Version") != hz.Version {
+		t.Fatalf("header/body version mismatch")
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var vars struct {
+		D2t2d map[string]any `json:"d2t2d"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	for _, name := range []string{"ingest_total", "stats_collect_total", "optimize_cache_hits", "bytes_served"} {
+		if _, ok := vars.D2t2d[name]; !ok {
+			t.Errorf("counter %q missing from /debug/vars", name)
+		}
+	}
+}
+
+// TestGracefulShutdownUnderLoad hammers the server with concurrent
+// ingest and optimize requests while a graceful shutdown runs. Every
+// response must be a clean success or a clean 503 — no hangs, no panics,
+// and (under -race) no data races between handlers, the pool and
+// Shutdown.
+func TestGracefulShutdownUnderLoad(t *testing.T) {
+	cfg := Config{CacheDir: t.TempDir(), Workers: 2}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id := ingestGen(t, ts.URL, "C", 1<<20)
+	optBody, _ := json.Marshal(map[string]any{
+		"kernel": testKernel,
+		"inputs": map[string]string{"A": id, "B": id},
+		"tile":   32,
+	})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var resp *http.Response
+				var err error
+				if i%2 == 0 {
+					resp, err = http.Post(ts.URL+"/v1/tensors", "application/json",
+						strings.NewReader(fmt.Sprintf(`{"gen":{"label":"C","scale":%d}}`, 1<<20)))
+				} else {
+					resp, err = http.Post(ts.URL+"/v1/optimize", "application/json", bytes.NewReader(optBody))
+				}
+				if err != nil {
+					return // connection refused after listener closes is fine
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+					t.Errorf("request failed with status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkServeOptimizeCached measures the warm /v1/optimize path: a
+// response-cache hit served straight from the artifact store.
+func BenchmarkServeOptimizeCached(b *testing.B) {
+	s, ts := newTestServer(b, Config{})
+	id := ingestGen(b, ts.URL, "C", 1<<20)
+	optBody, _ := json.Marshal(map[string]any{
+		"kernel": testKernel,
+		"inputs": map[string]string{"A": id, "B": id},
+		"tile":   32,
+	})
+	h := s.Handler()
+	warm := func() int {
+		req := httptest.NewRequest(http.MethodPost, "/v1/optimize", bytes.NewReader(optBody))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	if code := warm(); code != http.StatusOK { // cold fill
+		b.Fatalf("cold optimize: status %d", code)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if code := warm(); code != http.StatusOK {
+			b.Fatalf("status %d", code)
+		}
+	}
+}

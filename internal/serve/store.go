@@ -1,0 +1,191 @@
+// Package serve implements the d2t2d tiling-optimizer service: a JSON
+// HTTP API over the root d2t2 facade, backed by a content-addressed
+// artifact cache of binary snapshots (internal/snapshot). Artifacts are
+// keyed by SHA-256 content addresses, so identical tensors, statistics
+// bundles and optimizer responses are stored and served exactly once.
+package serve
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Source says where a Store lookup was satisfied.
+type Source int
+
+const (
+	// SourceNone means the key was absent from every layer.
+	SourceNone Source = iota
+	// SourceMem means the in-memory LRU layer had the artifact.
+	SourceMem
+	// SourceDisk means the artifact was read from the on-disk layer.
+	SourceDisk
+)
+
+// Store is a two-layer content-addressed artifact cache: a bounded
+// in-memory LRU of encoded snapshot bytes in front of an optional
+// on-disk layer. Keys are content addresses of the form
+// "sha256:<64 hex digits>" (snapshot.TensorID / StatsKey / ResponseKey);
+// the disk layout shards on the first two hex digits:
+//
+//	<dir>/<hex[:2]>/<hex>.d2t2snap
+//
+// Writes to disk go through a temporary file and an atomic rename, so a
+// crash never leaves a truncated artifact under its final name. Because
+// keys are content addresses the store never overwrites meaningfully
+// different data: a second Put for a key is by construction the same
+// bytes (responses are canonical, snapshots deterministic).
+//
+// A Store is safe for concurrent use.
+type Store struct {
+	dir      string // "" disables the disk layer
+	maxBytes int64  // in-memory budget; <=0 disables the memory layer
+
+	mu  sync.Mutex
+	ll  *list.List               // front = most recently used
+	idx map[string]*list.Element // key -> element whose Value is *storeEntry
+	cur int64
+}
+
+type storeEntry struct {
+	key  string
+	data []byte
+}
+
+// NewStore opens a store rooted at dir (created if missing; "" for a
+// purely in-memory store) holding at most maxBytes of artifact bytes in
+// memory.
+func NewStore(dir string, maxBytes int64) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: create cache dir: %w", err)
+		}
+	}
+	return &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		idx:      make(map[string]*list.Element),
+	}, nil
+}
+
+// path maps a content address to its on-disk location, rejecting
+// anything that is not a plain "sha256:<hex>" address so a malicious key
+// can never escape the cache directory.
+func (s *Store) path(key string) (string, error) {
+	hex, ok := strings.CutPrefix(key, "sha256:")
+	if !ok || len(hex) != 64 {
+		return "", fmt.Errorf("serve: malformed content address %q", key)
+	}
+	for _, c := range hex {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", fmt.Errorf("serve: malformed content address %q", key)
+		}
+	}
+	return filepath.Join(s.dir, hex[:2], hex+".d2t2snap"), nil
+}
+
+// Get returns the artifact bytes for key and the layer that served them,
+// or (nil, SourceNone, nil) on a clean miss. The returned slice is
+// shared with the cache and must be treated as read-only.
+func (s *Store) Get(key string) ([]byte, Source, error) {
+	s.mu.Lock()
+	if el, ok := s.idx[key]; ok {
+		s.ll.MoveToFront(el)
+		data := el.Value.(*storeEntry).data
+		s.mu.Unlock()
+		return data, SourceMem, nil
+	}
+	s.mu.Unlock()
+
+	if s.dir == "" {
+		return nil, SourceNone, nil
+	}
+	p, err := s.path(key)
+	if err != nil {
+		return nil, SourceNone, err
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, SourceNone, nil
+	}
+	if err != nil {
+		return nil, SourceNone, err
+	}
+	s.admit(key, data)
+	return data, SourceDisk, nil
+}
+
+// Put stores the artifact bytes under key in both layers. The slice is
+// retained by the memory layer and must not be mutated afterwards.
+func (s *Store) Put(key string, data []byte) error {
+	if s.dir != "" {
+		p, err := s.path(key)
+		if err != nil {
+			return err
+		}
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			return err
+		}
+		tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+		if err != nil {
+			return err
+		}
+		_, werr := tmp.Write(data)
+		cerr := tmp.Close()
+		if werr != nil || cerr != nil {
+			os.Remove(tmp.Name())
+			if werr != nil {
+				return werr
+			}
+			return cerr
+		}
+		if err := os.Rename(tmp.Name(), p); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+	}
+	s.admit(key, data)
+	return nil
+}
+
+// admit inserts data into the memory layer, evicting least-recently-used
+// entries until the byte budget holds. Artifacts larger than the whole
+// budget bypass the memory layer (they would only thrash it).
+func (s *Store) admit(key string, data []byte) {
+	if s.maxBytes <= 0 || int64(len(data)) > s.maxBytes {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.idx[key]; ok {
+		// Content-addressed: same key implies same bytes; just refresh.
+		s.ll.MoveToFront(el)
+		return
+	}
+	el := s.ll.PushFront(&storeEntry{key: key, data: data})
+	s.idx[key] = el
+	s.cur += int64(len(data))
+	for s.cur > s.maxBytes {
+		back := s.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*storeEntry)
+		s.ll.Remove(back)
+		delete(s.idx, ent.key)
+		s.cur -= int64(len(ent.data))
+	}
+}
+
+// MemBytes reports the bytes currently held by the memory layer.
+func (s *Store) MemBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"testing"
+)
+
+func key(seed string) string {
+	sum := sha256.Sum256([]byte(seed))
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+func TestStorePathRejectsMalformedKeys(t *testing.T) {
+	s, err := NewStore(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"",
+		"sha256:short",
+		"md5:" + strings.Repeat("a", 64),
+		"sha256:" + strings.Repeat("A", 64), // upper-case hex is not canonical
+		"sha256:../" + strings.Repeat("a", 61),
+	} {
+		if err := s.Put(bad, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted a malformed key", bad)
+		}
+	}
+}
+
+func TestStoreDiskAndMemLayers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("artifact")
+	if err := s.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if b, src, _ := s.Get(k); src != SourceMem || string(b) != "payload" {
+		t.Fatalf("fresh Put not served from memory: src=%v b=%q", src, b)
+	}
+
+	// A second store over the same directory has a cold memory layer: the
+	// first read comes from disk, the second from memory.
+	s2, err := NewStore(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, src, _ := s2.Get(k); src != SourceDisk || string(b) != "payload" {
+		t.Fatalf("persisted artifact not served from disk: src=%v b=%q", src, b)
+	}
+	if _, src, _ := s2.Get(k); src != SourceMem {
+		t.Fatalf("disk read was not admitted to memory: src=%v", src)
+	}
+
+	if _, src, _ := s2.Get(key("absent")); src != SourceNone {
+		t.Fatalf("miss reported source %v", src)
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s, err := NewStore("", 100) // memory only, tiny budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := make([]byte, 40)
+	ka, kb, kc := key("a"), key("b"), key("c")
+	for _, k := range []string{ka, kb, kc} {
+		if err := s.Put(k, blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 3*40 > 100: the least recently used (a) must be gone.
+	if _, src, _ := s.Get(ka); src != SourceNone {
+		t.Errorf("oldest entry not evicted: src=%v", src)
+	}
+	if _, src, _ := s.Get(kc); src != SourceMem {
+		t.Errorf("newest entry evicted: src=%v", src)
+	}
+	if got := s.MemBytes(); got > 100 {
+		t.Errorf("memory layer over budget: %d", got)
+	}
+
+	// An artifact bigger than the whole budget bypasses memory entirely.
+	if err := s.Put(key("huge"), make([]byte, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, src, _ := s.Get(key("huge")); src != SourceNone {
+		t.Errorf("oversized artifact admitted to memory")
+	}
+	if got := s.MemBytes(); got > 100 {
+		t.Errorf("memory layer over budget after oversized Put: %d", got)
+	}
+}
+
+func TestPoolShutdown(t *testing.T) {
+	p := newPool(2)
+	ran := make(chan struct{}, 4)
+	for i := 0; i < 4; i++ {
+		if err := p.run(context.Background(), func() { ran <- struct{}{} }); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	}
+	if len(ran) != 4 {
+		t.Fatalf("ran %d jobs, want 4", len(ran))
+	}
+	p.shutdown()
+	p.shutdown() // idempotent
+	if err := p.run(context.Background(), func() {}); err != ErrShuttingDown {
+		t.Fatalf("run after shutdown: %v, want ErrShuttingDown", err)
+	}
+}

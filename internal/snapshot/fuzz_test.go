@@ -1,0 +1,44 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotDecode checks the decoder never panics on arbitrary input
+// and that anything it accepts is canonical: re-encoding an accepted
+// artifact must itself decode, and re-encoding *that* is a fixed point
+// (the first re-encode may legitimately drop unknown sections).
+func FuzzSnapshotDecode(f *testing.F) {
+	if full, err := EncodeBytes(testArtifact(f)); err == nil {
+		f.Add(full)
+	}
+	empty, _ := EncodeBytes(&Artifact{})
+	f.Add(empty)
+	resp, _ := EncodeBytes(&Artifact{Response: []byte(`{"ok":true}`)})
+	f.Add(resp)
+	f.Add([]byte(Magic))
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		a, err := DecodeBytes(b)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeBytes(a)
+		if err != nil {
+			t.Fatalf("accepted artifact cannot re-encode: %v", err)
+		}
+		a2, err := DecodeBytes(enc)
+		if err != nil {
+			t.Fatalf("re-encoded artifact does not decode: %v", err)
+		}
+		enc2, err := EncodeBytes(a2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not a fixed point: %d vs %d bytes", len(enc), len(enc2))
+		}
+	})
+}

@@ -1,0 +1,499 @@
+// Package snapshot implements the versioned binary artifact codec behind
+// the d2t2d optimizer service: it serializes the expensive products of
+// the tile-and-collect phase — the original COO tensor, its conservative
+// tiled-CSF partitioning, and the collected statistics bundle (SizeTile,
+// MaxTile, PrTileIdx, ProbIndex, Corrs, TileCorrs, element histograms,
+// pair sketches, micro summary) — so that any later shape/budget query
+// can be answered without touching the raw data again (the paper's
+// collect-once, query-many design).
+//
+// Wire format: an 8-byte magic ("D2T2SNAP"), a u16 format version, a u16
+// reserved field, then a sequence of sections. Each section is framed as
+// a 4-byte tag, a u64 little-endian payload length, the payload, and a
+// u32 CRC32 (IEEE) of the payload. Unknown tags are skipped (their CRC
+// is still verified), so newer writers stay readable by older readers.
+// The encoding is canonical: decode followed by encode is byte-identical.
+//
+// The package also defines the service's content addresses: TensorID is
+// the SHA-256 of the canonical (sorted, deduplicated) COO encoding, and
+// StatsKey/ResponseKey derive artifact keys from it.
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"d2t2/internal/formats"
+	"d2t2/internal/stats"
+	"d2t2/internal/tensor"
+	"d2t2/internal/tiling"
+	"d2t2/internal/wire"
+)
+
+// Magic identifies a snapshot stream; Version is the current format.
+const (
+	Magic   = "D2T2SNAP"
+	Version = 1
+)
+
+// Section tags. Each may appear at most once per snapshot.
+const (
+	tagTensor   = "TENS"
+	tagTiled    = "TILE"
+	tagStats    = "STAT"
+	tagResponse = "RESP"
+)
+
+// ErrTruncated is wrapped by decode errors caused by input ending inside
+// a frame — the signature of a torn write or a short read.
+var ErrTruncated = fmt.Errorf("snapshot: truncated input")
+
+// Artifact is one cacheable unit: any subset of a tensor, its tiled
+// form, its statistics bundle, and an opaque response payload (cached
+// service responses ride the same store). Nil fields are omitted from
+// the encoding.
+type Artifact struct {
+	Tensor   *tensor.COO
+	Tiled    *tiling.TiledTensor
+	Stats    *stats.Stats
+	Response []byte
+}
+
+// EncodeBytes serializes the artifact.
+func EncodeBytes(a *Artifact) ([]byte, error) {
+	buf := make([]byte, 0, 1<<12)
+	buf = append(buf, Magic...)
+	buf = binary.LittleEndian.AppendUint16(buf, Version)
+	buf = binary.LittleEndian.AppendUint16(buf, 0)
+	if a.Tensor != nil {
+		payload, err := encodeTensor(a.Tensor)
+		if err != nil {
+			return nil, err
+		}
+		buf = appendSection(buf, tagTensor, payload)
+	}
+	if a.Tiled != nil {
+		payload, err := encodeTiled(a.Tiled)
+		if err != nil {
+			return nil, err
+		}
+		buf = appendSection(buf, tagTiled, payload)
+	}
+	if a.Stats != nil {
+		buf = appendSection(buf, tagStats, encodeStats(a.Stats))
+	}
+	if a.Response != nil {
+		buf = appendSection(buf, tagResponse, a.Response)
+	}
+	return buf, nil
+}
+
+// Encode writes the artifact to w.
+func Encode(w io.Writer, a *Artifact) error {
+	b, err := EncodeBytes(a)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// DecodeBytes parses a snapshot, verifying the magic, version, framing
+// and every section CRC. Unknown sections are skipped; duplicate known
+// sections are an error.
+func DecodeBytes(b []byte) (*Artifact, error) {
+	if len(b) < len(Magic)+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the header", ErrTruncated, len(b))
+	}
+	if string(b[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", b[:len(Magic)])
+	}
+	ver := binary.LittleEndian.Uint16(b[len(Magic):])
+	if ver != Version {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (have %d)", ver, Version)
+	}
+	a := &Artifact{}
+	seen := map[string]bool{}
+	off := len(Magic) + 4
+	for off < len(b) {
+		if len(b)-off < 12 {
+			return nil, fmt.Errorf("%w: %d trailing bytes cannot frame a section", ErrTruncated, len(b)-off)
+		}
+		tag := string(b[off : off+4])
+		plen := binary.LittleEndian.Uint64(b[off+4 : off+12])
+		off += 12
+		// Compare in uint64 with the CRC width subtracted from the payload
+		// side: remaining-4 would wrap when under 4 bytes are left, and a
+		// wrapped bound admits any length (the slice below could then read
+		// past len(b) into spare capacity of a shared backing array).
+		if rem := uint64(len(b) - off); rem < 4 || plen > rem-4 {
+			return nil, fmt.Errorf("%w: section %q declares %d payload bytes, %d remain", ErrTruncated, tag, plen, len(b)-off)
+		}
+		payload := b[off : off+int(plen)]
+		off += int(plen)
+		sum := binary.LittleEndian.Uint32(b[off : off+4])
+		off += 4
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			return nil, fmt.Errorf("snapshot: section %q CRC mismatch: stored %08x, computed %08x", tag, sum, got)
+		}
+		if seen[tag] {
+			return nil, fmt.Errorf("snapshot: duplicate section %q", tag)
+		}
+		seen[tag] = true
+		var err error
+		switch tag {
+		case tagTensor:
+			a.Tensor, err = decodeTensor(payload)
+		case tagTiled:
+			a.Tiled, err = decodeTiled(payload)
+		case tagStats:
+			a.Stats, err = decodeStats(payload)
+		case tagResponse:
+			a.Response = append([]byte(nil), payload...)
+		default:
+			// Forward compatibility: unknown sections are checksummed but
+			// otherwise ignored.
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// Decode reads a complete snapshot from r.
+func Decode(r io.Reader) (*Artifact, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeBytes(b)
+}
+
+func appendSection(buf []byte, tag string, payload []byte) []byte {
+	buf = append(buf, tag...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+}
+
+// maxCodecOrder bounds the tensor order accepted by decoders, matching
+// the formats codec.
+const maxCodecOrder = 16
+
+// --- TENS ---------------------------------------------------------------
+
+func encodeTensor(t *tensor.COO) ([]byte, error) {
+	n := t.Order()
+	if n < 1 || n > maxCodecOrder {
+		return nil, fmt.Errorf("snapshot: tensor order %d outside 1..%d", n, maxCodecOrder)
+	}
+	b := wire.AppendInts(nil, t.Dims)
+	for a := 0; a < n; a++ {
+		b = wire.AppendInts(b, t.Crds[a])
+	}
+	return wire.AppendF64s(b, t.Vals), nil
+}
+
+func decodeTensor(payload []byte) (*tensor.COO, error) {
+	r := wire.NewReader(payload)
+	dims := r.Ints()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	n := len(dims)
+	if n < 1 || n > maxCodecOrder {
+		return nil, fmt.Errorf("snapshot: tensor order %d outside 1..%d", n, maxCodecOrder)
+	}
+	crds := make([][]int, n)
+	for a := 0; a < n; a++ {
+		crds[a] = r.Ints()
+	}
+	vals := r.F64s()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	for a := 0; a < n; a++ {
+		if len(crds[a]) != len(vals) {
+			return nil, fmt.Errorf("snapshot: axis %d has %d coordinates for %d values", a, len(crds[a]), len(vals))
+		}
+		if dims[a] < 1 {
+			return nil, fmt.Errorf("snapshot: tensor dimension %d on axis %d", dims[a], a)
+		}
+		for _, c := range crds[a] {
+			if c < 0 || c >= dims[a] {
+				return nil, fmt.Errorf("snapshot: coordinate %d out of range [0,%d) on axis %d", c, dims[a], a)
+			}
+		}
+	}
+	t := tensor.New(dims...)
+	t.Crds = crds
+	t.Vals = vals
+	return t, nil
+}
+
+// --- TILE ---------------------------------------------------------------
+
+func encodeTiled(tt *tiling.TiledTensor) ([]byte, error) {
+	if tt.PackedFrom != nil {
+		return nil, fmt.Errorf("snapshot: packed super-tiles are not serializable")
+	}
+	b := wire.AppendInts(nil, tt.Dims)
+	b = wire.AppendInts(b, tt.TileDims)
+	b = wire.AppendInts(b, tt.Order)
+	keys := tt.SortedKeys()
+	b = wire.AppendU64(b, uint64(len(keys)))
+	for _, k := range keys {
+		tile := tt.Tiles[k]
+		if tile.Members != nil || tile.CSF == nil {
+			return nil, fmt.Errorf("snapshot: packed super-tiles are not serializable")
+		}
+		b = wire.AppendInts(b, tile.Outer)
+		b = tile.CSF.AppendBinary(b)
+	}
+	return b, nil
+}
+
+func decodeTiled(payload []byte) (*tiling.TiledTensor, error) {
+	r := wire.NewReader(payload)
+	dims := r.Ints()
+	tileDims := r.Ints()
+	order := r.Ints()
+	numTiles := r.U64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(dims) < 1 || len(dims) > maxCodecOrder {
+		return nil, fmt.Errorf("snapshot: tiled tensor order %d outside 1..%d", len(dims), maxCodecOrder)
+	}
+	// A tile frames at least a few dozen bytes; this cheap bound keeps a
+	// corrupted count from preallocating an absurd slice.
+	if numTiles > uint64(len(payload)) {
+		return nil, fmt.Errorf("snapshot: tile count %d exceeds payload size", numTiles)
+	}
+	tiles := make([]*tiling.Tile, 0, numTiles)
+	for i := uint64(0); i < numTiles; i++ {
+		outer := r.Ints()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		csf, err := formats.DecodeCSF(r)
+		if err != nil {
+			return nil, err
+		}
+		tiles = append(tiles, &tiling.Tile{Outer: outer, CSF: csf})
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("snapshot: %d stray bytes after tiled section", r.Remaining())
+	}
+	return tiling.FromTiles(dims, tileDims, order, tiles)
+}
+
+// --- STAT ---------------------------------------------------------------
+
+func encodeStats(s *stats.Stats) []byte {
+	p := s.Portable()
+	b := wire.AppendInts(nil, p.Dims)
+	b = wire.AppendInts(b, p.BaseTileDims)
+	b = wire.AppendInts(b, p.Order)
+	b = wire.AppendI64(b, int64(p.NNZ))
+	b = wire.AppendF64(b, p.SizeTile)
+	b = wire.AppendI64(b, int64(p.MaxTile))
+	b = wire.AppendI64(b, int64(p.NumTiles))
+	b = wire.AppendF64s(b, p.PrTileIdx)
+	b = wire.AppendF64s(b, p.ProbIndex)
+
+	axes := make([]int, 0, len(p.Corrs))
+	for ax := range p.Corrs {
+		axes = append(axes, ax)
+	}
+	sort.Ints(axes)
+	b = wire.AppendU64(b, uint64(len(axes)))
+	for _, ax := range axes {
+		b = wire.AppendI64(b, int64(ax))
+		b = wire.AppendF64s(b, p.Corrs[ax])
+	}
+
+	b = wire.AppendU64(b, uint64(len(p.TileCorrs)))
+	for _, tc := range p.TileCorrs {
+		b = wire.AppendF64s(b, tc)
+	}
+
+	b = appendOptional(b, p.ElemCounts != nil)
+	if p.ElemCounts != nil {
+		b = wire.AppendU64(b, uint64(len(p.ElemCounts)))
+		for _, ec := range p.ElemCounts {
+			b = wire.AppendI32s(b, ec)
+		}
+	}
+	b = appendOptional(b, p.PairSketch != nil)
+	if p.PairSketch != nil {
+		b = wire.AppendU64(b, uint64(len(p.PairSketch)))
+		for _, ps := range p.PairSketch {
+			b = wire.AppendU64s(b, ps)
+		}
+	}
+
+	b = wire.AppendU64(b, uint64(len(p.Occupancy)))
+	for _, occ := range p.Occupancy {
+		b = wire.AppendBools(b, occ)
+	}
+
+	b = appendOptional(b, p.Micro != nil)
+	if m := p.Micro; m != nil {
+		b = wire.AppendInts(b, m.Dims)
+		b = wire.AppendInts(b, m.MicroDims)
+		b = wire.AppendInts(b, m.OuterDims)
+		b = wire.AppendU64s(b, m.Keys)
+		b = wire.AppendI32s(b, m.NNZ)
+		b = wire.AppendI32s(b, m.Footprint)
+		b = wire.AppendF64(b, m.FPScale)
+	}
+	return b
+}
+
+func appendOptional(b []byte, present bool) []byte {
+	if present {
+		return wire.AppendU8(b, 1)
+	}
+	return wire.AppendU8(b, 0)
+}
+
+func decodeStats(payload []byte) (*stats.Stats, error) {
+	r := wire.NewReader(payload)
+	p := &stats.Portable{
+		Dims:         r.Ints(),
+		BaseTileDims: r.Ints(),
+		Order:        r.Ints(),
+		NNZ:          int(r.I64()),
+		SizeTile:     r.F64(),
+		MaxTile:      int(r.I64()),
+		NumTiles:     int(r.I64()),
+		PrTileIdx:    r.F64s(),
+		ProbIndex:    r.F64s(),
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(p.Dims) > maxCodecOrder {
+		return nil, fmt.Errorf("snapshot: stats order %d exceeds %d", len(p.Dims), maxCodecOrder)
+	}
+
+	nCorrs := r.U64()
+	if nCorrs > uint64(maxCodecOrder) {
+		return nil, fmt.Errorf("snapshot: %d corr axes exceeds %d", nCorrs, maxCodecOrder)
+	}
+	p.Corrs = make(map[int][]float64, nCorrs)
+	for i := uint64(0); i < nCorrs && r.Err() == nil; i++ {
+		ax := int(r.I64())
+		curve := r.F64s()
+		if _, dup := p.Corrs[ax]; dup {
+			return nil, fmt.Errorf("snapshot: duplicate corr axis %d", ax)
+		}
+		p.Corrs[ax] = curve
+	}
+
+	nTC := r.U64()
+	if nTC > uint64(maxCodecOrder) {
+		return nil, fmt.Errorf("snapshot: %d tile-corr axes exceeds %d", nTC, maxCodecOrder)
+	}
+	p.TileCorrs = make([][]float64, 0, nTC)
+	for i := uint64(0); i < nTC && r.Err() == nil; i++ {
+		p.TileCorrs = append(p.TileCorrs, r.F64s())
+	}
+
+	if r.U8() == 1 {
+		n := r.U64()
+		if n > uint64(maxCodecOrder) {
+			return nil, fmt.Errorf("snapshot: %d element-count axes exceeds %d", n, maxCodecOrder)
+		}
+		p.ElemCounts = make([][]int32, 0, n)
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			p.ElemCounts = append(p.ElemCounts, r.I32s())
+		}
+	}
+	if r.U8() == 1 {
+		n := r.U64()
+		if n > uint64(maxCodecOrder) {
+			return nil, fmt.Errorf("snapshot: %d pair-sketch axes exceeds %d", n, maxCodecOrder)
+		}
+		p.PairSketch = make([][]uint64, 0, n)
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			p.PairSketch = append(p.PairSketch, r.U64s())
+		}
+	}
+
+	nOcc := r.U64()
+	if nOcc > uint64(maxCodecOrder) {
+		return nil, fmt.Errorf("snapshot: %d occupancy axes exceeds %d", nOcc, maxCodecOrder)
+	}
+	p.Occupancy = make([][]bool, 0, nOcc)
+	for i := uint64(0); i < nOcc && r.Err() == nil; i++ {
+		p.Occupancy = append(p.Occupancy, r.Bools())
+	}
+
+	if r.U8() == 1 {
+		p.Micro = &stats.PortableMicro{
+			Dims:      r.Ints(),
+			MicroDims: r.Ints(),
+			OuterDims: r.Ints(),
+			Keys:      r.U64s(),
+			NNZ:       r.I32s(),
+			Footprint: r.I32s(),
+			FPScale:   r.F64(),
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("snapshot: %d stray bytes after stats section", r.Remaining())
+	}
+	return stats.FromPortable(p)
+}
+
+// --- Content addresses ---------------------------------------------------
+
+// TensorID returns the content address of a tensor: "sha256:" + the hex
+// SHA-256 of the canonical (sorted, deduplicated) COO encoding. The
+// input is not modified; an unnormalized tensor is canonicalized on a
+// clone first, so equal tensor *contents* always produce equal IDs
+// regardless of entry order or pending duplicates.
+func TensorID(t *tensor.COO) (string, error) {
+	c := t.Clone()
+	c.Dedup()
+	payload, err := encodeTensor(c)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(payload)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// StatsKey derives the content address of a statistics artifact from the
+// tensor ID and the collection parameters that shape it: the base tile
+// dimensions, the CSF level order, and the micro-summary divisor.
+func StatsKey(tensorID string, tileDims, order []int, microDiv int) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "stats|%s|%v|%v|%d", tensorID, tileDims, order, microDiv)
+	sum := sha256.Sum256(b.Bytes())
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// ResponseKey derives the content address of a cached service response
+// from the endpoint name and the canonicalized request body.
+func ResponseKey(endpoint string, canonicalRequest []byte) string {
+	h := sha256.New()
+	io.WriteString(h, "resp|"+endpoint+"|")
+	h.Write(canonicalRequest)
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,240 @@
+// Package wire provides the primitive byte-level encoding shared by the
+// snapshot codec layers: little-endian fixed-width integers, IEEE-754
+// float bits, and length-prefixed slices. Readers are error-latching —
+// after the first malformed read every subsequent call returns zero
+// values and Err() reports the original problem — so decoders can be
+// written as straight-line code and check once at the end.
+//
+// Slice length prefixes are validated against the bytes actually
+// remaining in the buffer before allocation, so a corrupted or
+// adversarial length cannot drive a multi-gigabyte allocation (the fuzz
+// targets lean on this).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// AppendU8 appends one byte.
+func AppendU8(b []byte, v uint8) []byte { return append(b, v) }
+
+// AppendU32 appends v little-endian.
+func AppendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+
+// AppendU64 appends v little-endian.
+func AppendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// AppendI64 appends v as its two's-complement u64 bits.
+func AppendI64(b []byte, v int64) []byte { return AppendU64(b, uint64(v)) }
+
+// AppendF64 appends the IEEE-754 bits of v.
+func AppendF64(b []byte, v float64) []byte { return AppendU64(b, math.Float64bits(v)) }
+
+// AppendInts appends a u64 count followed by each element as i64.
+func AppendInts(b []byte, xs []int) []byte {
+	b = AppendU64(b, uint64(len(xs)))
+	for _, x := range xs {
+		b = AppendI64(b, int64(x))
+	}
+	return b
+}
+
+// AppendI32s appends a u64 count followed by each element as 4 bytes.
+func AppendI32s(b []byte, xs []int32) []byte {
+	b = AppendU64(b, uint64(len(xs)))
+	for _, x := range xs {
+		b = AppendU32(b, uint32(x))
+	}
+	return b
+}
+
+// AppendU64s appends a u64 count followed by the raw elements.
+func AppendU64s(b []byte, xs []uint64) []byte {
+	b = AppendU64(b, uint64(len(xs)))
+	for _, x := range xs {
+		b = AppendU64(b, x)
+	}
+	return b
+}
+
+// AppendF64s appends a u64 count followed by the elements' float bits.
+func AppendF64s(b []byte, xs []float64) []byte {
+	b = AppendU64(b, uint64(len(xs)))
+	for _, x := range xs {
+		b = AppendF64(b, x)
+	}
+	return b
+}
+
+// AppendBools appends a u64 count followed by one byte per element.
+func AppendBools(b []byte, xs []bool) []byte {
+	b = AppendU64(b, uint64(len(xs)))
+	for _, x := range xs {
+		v := uint8(0)
+		if x {
+			v = 1
+		}
+		b = append(b, v)
+	}
+	return b
+}
+
+// Reader decodes a buffer written with the Append helpers. Methods after
+// a failed read return zero values; Err reports the first failure.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Remaining() < n {
+		r.fail("wire: truncated input: need %d bytes at offset %d, have %d", n, r.off, r.Remaining())
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// count reads a u64 length prefix and validates it against the bytes
+// remaining at elemSize bytes per element.
+func (r *Reader) count(elemSize int) int {
+	n := r.U64()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(r.Remaining()/elemSize) {
+		r.fail("wire: length prefix %d exceeds remaining input (%d bytes, %d per element)",
+			n, r.Remaining(), elemSize)
+		return 0
+	}
+	return int(n)
+}
+
+// Ints reads a slice written by AppendInts. A nil slice is returned for
+// count zero.
+func (r *Reader) Ints() []int {
+	n := r.count(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(r.I64())
+	}
+	return out
+}
+
+// I32s reads a slice written by AppendI32s. Every int32 D2T2 serializes
+// is a coordinate or a segment offset, so negative encodings (values
+// above math.MaxInt32) are rejected as corruption rather than
+// reinterpreted.
+func (r *Reader) I32s() []int32 {
+	n := r.count(4)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		u := r.U32()
+		if u > math.MaxInt32 {
+			r.fail("wire: int32 element %d out of range (%d)", i, u)
+			return nil
+		}
+		out[i] = int32(u)
+	}
+	return out
+}
+
+// U64s reads a slice written by AppendU64s.
+func (r *Reader) U64s() []uint64 {
+	n := r.count(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.U64()
+	}
+	return out
+}
+
+// F64s reads a slice written by AppendF64s.
+func (r *Reader) F64s() []float64 {
+	n := r.count(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
+}
+
+// Bools reads a slice written by AppendBools.
+func (r *Reader) Bools() []bool {
+	n := r.count(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.U8() != 0
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	var b []byte
+	b = AppendU8(b, 7)
+	b = AppendU32(b, 0xdeadbeef)
+	b = AppendU64(b, 1<<63)
+	b = AppendI64(b, -42)
+	b = AppendF64(b, math.Pi)
+	ints := []int{0, -1, math.MaxInt32 + 1}
+	i32s := []int32{0, 5, math.MaxInt32}
+	u64s := []uint64{1, math.MaxUint64}
+	f64s := []float64{0, -0.5, math.Inf(1)}
+	bools := []bool{true, false, true}
+	b = AppendInts(b, ints)
+	b = AppendI32s(b, i32s)
+	b = AppendU64s(b, u64s)
+	b = AppendF64s(b, f64s)
+	b = AppendBools(b, bools)
+
+	r := NewReader(b)
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %x", got)
+	}
+	if got := r.U64(); got != 1<<63 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := r.Ints(); !reflect.DeepEqual(got, ints) {
+		t.Errorf("Ints = %v", got)
+	}
+	if got := r.I32s(); !reflect.DeepEqual(got, i32s) {
+		t.Errorf("I32s = %v", got)
+	}
+	if got := r.U64s(); !reflect.DeepEqual(got, u64s) {
+		t.Errorf("U64s = %v", got)
+	}
+	if got := r.F64s(); !reflect.DeepEqual(got, f64s) {
+		t.Errorf("F64s = %v", got)
+	}
+	if got := r.Bools(); !reflect.DeepEqual(got, bools) {
+		t.Errorf("Bools = %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", r.Remaining())
+	}
+}
+
+func TestReaderLatchesFirstError(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	if got := r.U64(); got != 0 {
+		t.Errorf("truncated U64 = %d, want 0", got)
+	}
+	first := r.Err()
+	if first == nil {
+		t.Fatalf("no error after truncated read")
+	}
+	// Every later read returns zero values and keeps the original error.
+	if got := r.U8(); got != 0 {
+		t.Errorf("U8 after error = %d", got)
+	}
+	if r.Ints() != nil || r.F64s() != nil {
+		t.Errorf("slice reads after error are not nil")
+	}
+	if r.Err() != first {
+		t.Errorf("latched error was replaced")
+	}
+}
+
+// TestLengthPrefixBounded is the allocation-safety property the fuzz
+// targets lean on: a corrupted count can never exceed the bytes that
+// actually remain, so decoders never allocate more than the input size.
+func TestLengthPrefixBounded(t *testing.T) {
+	huge := AppendU64(nil, math.MaxUint64)
+	if got := NewReader(huge).Ints(); got != nil {
+		t.Errorf("huge count returned a slice of %d", len(got))
+	}
+	if err := NewReader(huge).Err(); err != nil {
+		t.Errorf("Err before any read: %v", err)
+	}
+
+	// Count that fits the prefix but not the payload.
+	b := AppendU64(nil, 3) // declares 3 u64 elements, provides none
+	r := NewReader(b)
+	if r.U64s() != nil || r.Err() == nil {
+		t.Errorf("short payload accepted")
+	}
+}
+
+func TestI32sRejectsNegativeEncodings(t *testing.T) {
+	b := AppendU64(nil, 1)
+	b = AppendU32(b, 0x80000000) // int32(-2147483648): not a valid coordinate
+	r := NewReader(b)
+	if r.I32s() != nil || r.Err() == nil {
+		t.Fatalf("negative int32 encoding accepted")
+	}
+}

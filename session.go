@@ -1,0 +1,201 @@
+package d2t2
+
+import (
+	"sync"
+
+	"d2t2/internal/optimizer"
+	"d2t2/internal/snapshot"
+	"d2t2/internal/stats"
+	"d2t2/internal/tiling"
+)
+
+// sessionMicroDiv is the micro-summary divisor every session collection
+// uses — the optimizer's default, so cached statistics are always valid
+// for Optimize.
+const sessionMicroDiv = 8
+
+// StatsCache is an optional external artifact store a Session consults
+// before collecting statistics and updates after — d2t2d plugs its
+// content-addressed snapshot cache in here. Keys are content addresses
+// (snapshot.StatsKey); implementations must be safe for concurrent use.
+// The tiled tensor passed to StoreStats is the conservative tiling the
+// statistics were collected from, so stores can persist the full
+// snapshot artifact; it may be nil when only statistics are available.
+type StatsCache interface {
+	LoadStats(key string) (*stats.Stats, bool)
+	StoreStats(key string, s *stats.Stats, tiled *tiling.TiledTensor)
+}
+
+// Session is a reusable optimizer context: it memoizes the per-tensor
+// tile-and-collect phase so repeated Optimize, Predict and Stats calls
+// against the same inputs skip straight to the probabilistic model. With
+// an external StatsCache the memo lives (bounded) in the cache;
+// otherwise the session keeps collected statistics in-process for its
+// lifetime. Tensors handed to a session must not be mutated afterwards —
+// their content address is memoized by identity.
+//
+// A Session is safe for concurrent use. Concurrent first requests for
+// the same tensor may collect twice; collection is deterministic, so
+// both arrive at identical statistics.
+type Session struct {
+	cache StatsCache
+
+	mu   sync.Mutex
+	memo map[string]*stats.Stats
+	ids  map[*Tensor]string
+}
+
+// NewSession returns a session backed by the given cache (nil for a
+// purely in-process memo).
+func NewSession(cache StatsCache) *Session {
+	return &Session{
+		cache: cache,
+		memo:  make(map[string]*stats.Stats),
+		ids:   make(map[*Tensor]string),
+	}
+}
+
+// TensorID returns the tensor's content address ("sha256:..." of the
+// canonical COO encoding), memoized per tensor.
+func (s *Session) TensorID(t *Tensor) (string, error) {
+	s.mu.Lock()
+	if id, ok := s.ids[t]; ok {
+		s.mu.Unlock()
+		return id, nil
+	}
+	s.mu.Unlock()
+	id, err := snapshot.TensorID(t.coo)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ids[t] = id
+	s.mu.Unlock()
+	return id, nil
+}
+
+// statsFor returns the statistics for t at the given base tiling and
+// level order, consulting the session memo or external cache before
+// collecting.
+func (s *Session) statsFor(t *Tensor, tileDims, order []int) (*stats.Stats, error) {
+	id, err := s.TensorID(t)
+	if err != nil {
+		return nil, err
+	}
+	key := snapshot.StatsKey(id, tileDims, order, sessionMicroDiv)
+	if s.cache != nil {
+		if st, ok := s.cache.LoadStats(key); ok {
+			return st, nil
+		}
+	} else {
+		s.mu.Lock()
+		st := s.memo[key]
+		s.mu.Unlock()
+		if st != nil {
+			return st, nil
+		}
+	}
+	st, tt, err := stats.Collect(t.coo, tileDims, order, &stats.Options{MicroDiv: sessionMicroDiv})
+	if err != nil {
+		return nil, err
+	}
+	if s.cache != nil {
+		s.cache.StoreStats(key, st, tt)
+	} else {
+		s.mu.Lock()
+		s.memo[key] = st
+		s.mu.Unlock()
+	}
+	return st, nil
+}
+
+// Optimize runs the D2T2 pipeline like the package-level Optimize, but
+// sources per-input statistics through the session: the expensive
+// tile-and-collect phase runs at most once per (tensor, base tile,
+// level order) across every call sharing the session — warm calls go
+// straight to the shape/size search.
+func (s *Session) Optimize(k *Kernel, inputs Inputs, opts Options) (*Plan, error) {
+	o := opts.lower()
+	base, err := o.ConservativeBase(k.expr)
+	if err != nil {
+		return nil, err
+	}
+	pre := make(map[string]*stats.Stats)
+	for _, ref := range k.expr.Inputs() {
+		if _, done := pre[ref.Name]; done {
+			continue
+		}
+		t, ok := inputs[ref.Name]
+		if !ok {
+			return nil, errMissing(ref.Name)
+		}
+		dims := make([]int, len(ref.Indices))
+		for a := range dims {
+			dims[a] = base
+		}
+		st, err := s.statsFor(t, dims, k.expr.LevelOrder(ref))
+		if err != nil {
+			return nil, err
+		}
+		pre[ref.Name] = st
+	}
+	o.Precollected = pre
+	res, err := optimizer.Optimize(k.expr, inputs.lower(), o)
+	if err != nil {
+		return nil, err
+	}
+	return newPlan(res, k, inputs), nil
+}
+
+// Predict runs the probabilistic traffic model for one tile
+// configuration, like the package-level PredictConfig, with statistics
+// sourced through the session. Statistics are collected at a
+// conservative square tiling of dimension statsTile.
+func (s *Session) Predict(k *Kernel, inputs Inputs, cfg TileConfig, statsTile int) (float64, error) {
+	st := make(map[string]*stats.Stats)
+	for _, ref := range k.expr.Inputs() {
+		if _, done := st[ref.Name]; done {
+			continue
+		}
+		t, ok := inputs[ref.Name]
+		if !ok {
+			return 0, errMissing(ref.Name)
+		}
+		dims := clampedSquare(t, statsTile, len(ref.Indices))
+		one, err := s.statsFor(t, dims, k.expr.LevelOrder(ref))
+		if err != nil {
+			return 0, err
+		}
+		st[ref.Name] = one
+	}
+	return predictWithStats(k, cfg, st)
+}
+
+// Stats returns the collected statistics summary for one tensor at a
+// conservative square tiling (natural level order), cached in the
+// session like every other collection.
+func (s *Session) Stats(t *Tensor, tile int) (*StatsSummary, error) {
+	dims := clampedSquare(t, tile, t.Order())
+	order := make([]int, t.Order())
+	for a := range order {
+		order[a] = a
+	}
+	st, err := s.statsFor(t, dims, order)
+	if err != nil {
+		return nil, err
+	}
+	return summarize(st, dims), nil
+}
+
+// clampedSquare returns an order-n square tiling of side tile, clamped
+// per axis to the tensor's dimensions.
+func clampedSquare(t *Tensor, tile, n int) []int {
+	dims := make([]int, n)
+	for a := range dims {
+		dims[a] = tile
+		if a < len(t.coo.Dims) && dims[a] > t.coo.Dims[a] {
+			dims[a] = t.coo.Dims[a]
+		}
+	}
+	return dims
+}

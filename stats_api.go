@@ -37,6 +37,11 @@ func CollectStats(t *Tensor, tile int) (*StatsSummary, error) {
 	if err != nil {
 		return nil, err
 	}
+	return summarize(s, dims), nil
+}
+
+// summarize flattens collected statistics into the public summary.
+func summarize(s *stats.Stats, dims []int) *StatsSummary {
 	out := &StatsSummary{
 		SizeTile:  s.SizeTile,
 		MaxTile:   s.MaxTile,
@@ -44,10 +49,10 @@ func CollectStats(t *Tensor, tile int) (*StatsSummary, error) {
 		PrTileIdx: append([]float64(nil), s.PrTileIdx...),
 		ProbIndex: append([]float64(nil), s.ProbIndex...),
 	}
-	for a := 0; a < t.Order(); a++ {
+	for a := range dims {
 		out.CorrSums = append(out.CorrSums, s.CorrSum(a, dims[a]))
 	}
-	return out, nil
+	return out
 }
 
 // PredictConfig runs the probabilistic traffic model for one tile
@@ -59,6 +64,11 @@ func PredictConfig(k *Kernel, inputs Inputs, cfg TileConfig, statsTile int) (flo
 	if err != nil {
 		return 0, err
 	}
+	return predictWithStats(k, cfg, st)
+}
+
+// predictWithStats prices one configuration given collected statistics.
+func predictWithStats(k *Kernel, cfg TileConfig, st map[string]*stats.Stats) (float64, error) {
 	pred, err := model.New(k.expr, st)
 	if err != nil {
 		return 0, err
