@@ -186,6 +186,7 @@ func cmdStats(args []string) error {
 	files := inputFlags{}
 	fs.Var(files, "input", "NAME=FILE (repeatable; FILE may be dataset:LABEL[:SCALE])")
 	tile := fs.Int("tile", 128, "conservative square tile dimension")
+	workers := fs.Int("workers", 0, "collection worker count (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -196,6 +197,8 @@ func cmdStats(args []string) error {
 	if len(inputs) == 0 {
 		return fmt.Errorf("no -input given")
 	}
+	sess := d2t2.NewSession(nil)
+	sess.Workers = *workers
 	names := make([]string, 0, len(inputs))
 	for name := range inputs {
 		names = append(names, name)
@@ -203,7 +206,7 @@ func cmdStats(args []string) error {
 	sort.Strings(names)
 	for _, name := range names {
 		t := inputs[name]
-		st, err := d2t2.CollectStats(t, *tile)
+		st, err := sess.Stats(t, *tile)
 		if err != nil {
 			return err
 		}
@@ -232,6 +235,7 @@ func cmdOptimize(args []string) error {
 	tile := fs.Int("tile", 128, "buffer sized for this dense square tile")
 	analytic := fs.Bool("analytic", false, "paper-faithful analytic statistics path")
 	measure := fs.Bool("measure", false, "also execute and report exact traffic")
+	workers := fs.Int("workers", 0, "cold-pipeline worker count (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -244,7 +248,8 @@ func cmdOptimize(args []string) error {
 		return err
 	}
 	buffer := d2t2.DenseTileWords(*tile, *tile)
-	plan, err := d2t2.Optimize(k, inputs, d2t2.Options{BufferWords: buffer, Analytic: *analytic})
+	plan, err := d2t2.Optimize(k, inputs,
+		d2t2.Options{BufferWords: buffer, Analytic: *analytic, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -345,6 +350,7 @@ func cmdPredict(args []string) error {
 	kernel := fs.String("kernel", "C(i,j) = A(i,k) * B(k,j) | order: i,k,j", "TIN kernel")
 	config := fs.String("config", "", "tile config, e.g. i=512,k=32,j=512")
 	tile := fs.Int("tile", 128, "conservative tile the statistics are collected at")
+	workers := fs.Int("workers", 0, "collection worker count (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -360,7 +366,9 @@ func cmdPredict(args []string) error {
 	if err != nil {
 		return err
 	}
-	pred, err := d2t2.PredictConfig(k, inputs, cfg, *tile)
+	sess := d2t2.NewSession(nil)
+	sess.Workers = *workers
+	pred, err := sess.Predict(k, inputs, cfg, *tile)
 	if err != nil {
 		return err
 	}

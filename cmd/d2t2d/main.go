@@ -47,7 +47,7 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8421", "listen address")
 	cacheDir := fs.String("cache-dir", "d2t2d-cache", "artifact cache directory (empty = memory only)")
 	memMB := fs.Int("mem-cache-mb", 64, "in-memory artifact cache budget in MiB")
-	workers := fs.Int("workers", 0, "ingest worker count (0 = all cores)")
+	workers := fs.Int("workers", 0, "ingest + cold-pipeline worker count (0 = all cores)")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request timeout")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain bound")
 	version := fs.Bool("version", false, "print version and exit")

@@ -29,7 +29,7 @@ func main() {
 	scale := flag.Int("scale", 0, "dataset scale divisor (0 = suite default)")
 	tile := flag.Int("tile", 0, "conservative tile side (0 = suite default)")
 	labels := flag.String("labels", "", "comma-separated matrix labels (default: suite)")
-	workers := flag.Int("workers", 0, "exec worker count (0 = all cores; results are identical for any value)")
+	workers := flag.Int("workers", 0, "exec + cold-pipeline worker count (0 = all cores; results are identical for any value)")
 	format := flag.String("format", "text", "output format: text, md or json")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()

@@ -214,6 +214,11 @@ type Options struct {
 	DisableCorrs bool
 	// SkipResize stops after shape optimization.
 	SkipResize bool
+	// Workers bounds the worker pool for the cold pipeline — per-tensor
+	// tiling + statistics collection, partitioned collection passes, and
+	// the parallel shape sweep (0 = all cores). The result is
+	// byte-identical at any worker count.
+	Workers int
 }
 
 // Plan is an optimized tiling scheme bound to its kernel and inputs.
@@ -239,6 +244,7 @@ func (opts Options) lower() optimizer.Options {
 		BufferWords:  opts.BufferWords,
 		DisableCorrs: opts.DisableCorrs,
 		SkipResize:   opts.SkipResize,
+		Workers:      opts.Workers,
 	}
 	if opts.Analytic {
 		o.Mode = model.ModeAnalytic

@@ -125,10 +125,11 @@ type Suite struct {
 	// Labels restricts matrix experiments to these dataset labels (nil =
 	// the full A..S suite).
 	Labels []string
-	// Workers fixes the exec worker count for measurements (0 = all
-	// cores). The parallel partition merges counters exactly, so tables
-	// are identical for any setting; the determinism regression test
-	// checks Workers:1 against Workers:4.
+	// Workers fixes the worker count for measurements and for the cold
+	// pipeline the coldpipe experiment drives (0 = all cores). The
+	// parallel partitions merge counters exactly, so tables are identical
+	// for any setting; the determinism regression test checks Workers:1
+	// against Workers:4.
 	Workers int
 
 	mu    sync.Mutex

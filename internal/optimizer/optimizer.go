@@ -22,6 +22,7 @@ import (
 
 	"d2t2/internal/einsum"
 	"d2t2/internal/model"
+	"d2t2/internal/par"
 	"d2t2/internal/stats"
 	"d2t2/internal/tensor"
 	"d2t2/internal/tiling"
@@ -68,6 +69,12 @@ type Options struct {
 	// Matching inputs skip the tile-and-collect phase entirely;
 	// Result.BaseTiling then has no entry for them.
 	Precollected map[string]*stats.Stats
+	// Workers bounds the worker pool for the cold pipeline: per-input
+	// tiling + statistics collection run concurrently, and the RF shape
+	// sweep evaluates candidates in parallel against the read-only
+	// predictor (0 = all cores). Results are byte-identical at any
+	// worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -142,28 +149,49 @@ func Optimize(e *einsum.Expr, inputs map[string]*tensor.COO, opts Options) (*Res
 		Stats:      make(map[string]*stats.Stats),
 		BaseTiling: make(map[string]*tiling.TiledTensor),
 	}
+	// Unique inputs tile-and-collect concurrently; the result maps are
+	// filled serially in input order afterwards, and the lowest-index
+	// error wins, so the outcome matches the old serial loop exactly.
+	type collected struct {
+		s  *stats.Stats
+		tt *tiling.TiledTensor
+	}
+	var work []einsum.Ref
+	seen := make(map[string]bool)
 	for _, ref := range e.Inputs() {
-		if _, done := res.Stats[ref.Name]; done {
+		if seen[ref.Name] {
 			continue
 		}
+		seen[ref.Name] = true
+		work = append(work, ref)
+	}
+	cols, err := par.Map(o.Workers, len(work), func(i int) (collected, error) {
+		ref := work[i]
 		base := make([]int, len(ref.Indices))
 		for a := range base {
 			base[a] = baseTile
 		}
 		if st := o.Precollected[ref.Name]; st != nil {
 			if err := precollectedMatches(st, base, e.LevelOrder(ref)); err != nil {
-				return nil, fmt.Errorf("optimizer: precollected stats for %q: %w", ref.Name, err)
+				return collected{}, fmt.Errorf("optimizer: precollected stats for %q: %w", ref.Name, err)
 			}
-			res.Stats[ref.Name] = st
-			continue
+			return collected{s: st}, nil
 		}
 		s, tt, err := stats.Collect(inputs[ref.Name], base, e.LevelOrder(ref),
-			&stats.Options{MicroDiv: o.MicroDiv})
+			&stats.Options{MicroDiv: o.MicroDiv, Workers: o.Workers})
 		if err != nil {
-			return nil, err
+			return collected{}, err
 		}
-		res.Stats[ref.Name] = s
-		res.BaseTiling[ref.Name] = tt
+		return collected{s: s, tt: tt}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ref := range work {
+		res.Stats[ref.Name] = cols[i].s
+		if cols[i].tt != nil {
+			res.BaseTiling[ref.Name] = cols[i].tt
+		}
 	}
 
 	pred, err := model.New(e, res.Stats)
@@ -181,7 +209,16 @@ func Optimize(e *einsum.Expr, inputs map[string]*tensor.COO, opts Options) (*Res
 	if o.CorrsOnly {
 		rfs = []float64{corrsOnlyRF(e, res.Stats, baseTile, o)}
 	}
-	for _, rf := range rfs {
+	// Candidates evaluate concurrently against the read-only predictor;
+	// survivors are appended serially in RF order and the first strict
+	// minimum wins, matching the serial sweep's choice exactly.
+	type swept struct {
+		cfg  model.Config
+		keep bool
+		p    *model.Prediction
+	}
+	sweeps, err := par.Map(o.Workers, len(rfs), func(i int) (swept, error) {
+		rf := rfs[i]
 		cfg := make(model.Config, len(e.Order))
 		for _, ix := range e.Order {
 			cfg[ix] = baseTile
@@ -199,7 +236,7 @@ func Optimize(e *einsum.Expr, inputs map[string]*tensor.COO, opts Options) (*Res
 		for _, ref := range e.Inputs() {
 			sh, err := evalRef(pred, res.Stats[ref.Name], ref, cfg)
 			if err != nil {
-				return nil, err
+				return swept{}, err
 			}
 			if sh.MaxTileBound > o.BufferWords {
 				fitsShape = false
@@ -208,14 +245,23 @@ func Optimize(e *einsum.Expr, inputs map[string]*tensor.COO, opts Options) (*Res
 		}
 		//d2t2:ignore floatdeterminism rf ranges over the literal RFs slice; matching the literal 1 exactly is intended
 		if !fitsShape && rf != 1 {
-			continue
+			return swept{}, nil
 		}
 		p, err := pred.Predict(cfg)
 		if err != nil {
-			return nil, err
+			return swept{}, err
 		}
-		res.Candidates = append(res.Candidates, Candidate{RF: rf, Config: cfg, Predicted: p})
-		if best < 0 || p.Total() < res.Candidates[best].Predicted.Total() {
+		return swept{cfg: cfg, keep: true, p: p}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sw := range sweeps {
+		if !sw.keep {
+			continue
+		}
+		res.Candidates = append(res.Candidates, Candidate{RF: rfs[i], Config: sw.cfg, Predicted: sw.p})
+		if best < 0 || sw.p.Total() < res.Candidates[best].Predicted.Total() {
 			best = len(res.Candidates) - 1
 		}
 	}
@@ -475,10 +521,19 @@ func evalRef(pred *model.Predictor, st *stats.Stats, ref einsum.Ref, cfg model.C
 }
 
 // TileAll tiles every input with the final configuration (the second
-// tiling pass of the pipeline), ready for the measurement backend.
+// tiling pass of the pipeline), ready for the measurement backend. All
+// cores are used; see TileAllWorkers.
 func TileAll(e *einsum.Expr, inputs map[string]*tensor.COO, cfg model.Config) (map[string]*tiling.TiledTensor, error) {
-	out := make(map[string]*tiling.TiledTensor)
-	for _, ref := range e.Inputs() {
+	return TileAllWorkers(e, inputs, cfg, 0)
+}
+
+// TileAllWorkers is TileAll with an explicit worker count (0 = all
+// cores): inputs retile concurrently, each on the parallel tiler. The
+// output is identical at any worker count.
+func TileAllWorkers(e *einsum.Expr, inputs map[string]*tensor.COO, cfg model.Config, workers int) (map[string]*tiling.TiledTensor, error) {
+	refs := e.Inputs()
+	tts, err := par.Map(workers, len(refs), func(i int) (*tiling.TiledTensor, error) {
+		ref := refs[i]
 		m := inputs[ref.Name]
 		if m == nil {
 			return nil, fmt.Errorf("optimizer: missing input %q", ref.Name)
@@ -494,11 +549,14 @@ func TileAll(e *einsum.Expr, inputs map[string]*tensor.COO, cfg model.Config) (m
 			}
 			dims[a] = td
 		}
-		tt, err := tiling.New(m, dims, e.LevelOrder(ref))
-		if err != nil {
-			return nil, err
-		}
-		out[ref.Name] = tt
+		return tiling.NewParallel(m, dims, e.LevelOrder(ref), workers)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*tiling.TiledTensor, len(refs))
+	for i, ref := range refs {
+		out[ref.Name] = tts[i]
 	}
 	return out, nil
 }

@@ -1,0 +1,141 @@
+// Package par is the cold-path parallelism kit: a bounded worker pool
+// with ordered fan-out/fan-in used by the tiler, the statistics
+// collector and the optimizer's shape sweep. Its contract is the one the
+// pipeline's determinism gate enforces: for any worker count, results
+// are delivered in item order, the first error (by item index, not by
+// wall clock) wins, and worker panics surface as errors rather than
+// crashing sibling goroutines mid-merge. Every goroutine is joined
+// before a call returns — no launch here outlives its caller (the
+// goroutinehygiene analyzer checks the join signals).
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean "all
+// cores" (GOMAXPROCS), anything else is taken as given. This is the
+// repo-wide convention established by experiments.Suite.Workers.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// PanicError wraps a value recovered from a worker's panic so fan-out
+// callers can surface it as an ordinary error instead of tearing down
+// the process from a goroutine (matching the panic policy of library
+// code).
+type PanicError struct{ Value any }
+
+func (p *PanicError) Error() string { return fmt.Sprintf("par: worker panic: %v", p.Value) }
+
+// ForEach runs fn(i) for every i in [0, n) on at most `workers`
+// goroutines (workers <= 0 meaning all cores) and returns the error of
+// the lowest-index item that failed, or nil. Indices are claimed from a
+// shared counter, so the schedule varies run to run — callers must write
+// results into per-index state (slices, not shared maps) so the outcome
+// is independent of the schedule. A panic inside fn is captured as a
+// *PanicError for its index and competes for lowest-index like any other
+// failure; remaining items still run.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Inline fast path: identical semantics (first error by index,
+		// panics captured), none of the goroutine machinery.
+		for i := 0; i < n; i++ {
+			if err := runItem(i, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				errs[i] = runItem(i, fn)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runItem invokes fn(i), converting a panic into a *PanicError.
+func runItem(i int, fn func(int) error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p}
+		}
+	}()
+	return fn(i)
+}
+
+// Map runs fn over [0, n) like ForEach and returns the results in item
+// order. On error the partial results are discarded and the
+// lowest-index error is returned.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Chunks splits [0, n) into at most `workers` contiguous half-open
+// ranges of near-equal size, in order. Reductions that are associative
+// and commutative (integer sums, maxima, boolean ORs, bottom-k merges)
+// can fan out one chunk per range and merge in chunk order for a result
+// identical to the serial pass at any worker count.
+func Chunks(workers, n int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([][2]int, 0, workers)
+	lo := 0
+	for c := 0; c < workers; c++ {
+		hi := lo + (n-lo)/(workers-c)
+		if hi > lo {
+			out = append(out, [2]int{lo, hi})
+			lo = hi
+		}
+	}
+	return out
+}

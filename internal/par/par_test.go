@@ -1,0 +1,150 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		n := 257
+		hits := make([]int32, n)
+		err := ForEach(workers, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("fn called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		err := ForEach(workers, 64, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("item %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 3" {
+			t.Fatalf("workers=%d: want lowest-index error \"item 3\", got %v", workers, err)
+		}
+	}
+}
+
+func TestForEachPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 8, func(i int) error {
+			if i == 2 {
+				panic("boom")
+			}
+			if i == 5 {
+				return errors.New("late error")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) || pe.Value != "boom" {
+			t.Fatalf("workers=%d: want PanicError(boom) from index 2, got %v", workers, err)
+		}
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 4, 32} {
+		out, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapErrorDiscardsResults(t *testing.T) {
+	out, err := Map(4, 10, func(i int) (int, error) {
+		if i >= 5 {
+			return 0, fmt.Errorf("item %d", i)
+		}
+		return i, nil
+	})
+	if out != nil || err == nil || err.Error() != "item 5" {
+		t.Fatalf("want (nil, item 5), got (%v, %v)", out, err)
+	}
+}
+
+func TestChunksCoverDisjoint(t *testing.T) {
+	for _, tc := range []struct{ workers, n int }{
+		{1, 10}, {3, 10}, {10, 10}, {16, 10}, {4, 1}, {0, 5}, {7, 100},
+	} {
+		chunks := Chunks(tc.workers, tc.n)
+		covered := 0
+		prev := 0
+		for _, c := range chunks {
+			if c[0] != prev || c[1] <= c[0] {
+				t.Fatalf("workers=%d n=%d: bad chunk %v (prev end %d)", tc.workers, tc.n, c, prev)
+			}
+			covered += c[1] - c[0]
+			prev = c[1]
+		}
+		if covered != tc.n || prev != tc.n {
+			t.Fatalf("workers=%d n=%d: chunks %v cover %d", tc.workers, tc.n, chunks, covered)
+		}
+		if tc.workers >= 1 && len(chunks) > tc.workers {
+			t.Fatalf("workers=%d n=%d: %d chunks", tc.workers, tc.n, len(chunks))
+		}
+	}
+	if Chunks(4, 0) != nil {
+		t.Fatal("Chunks(4, 0) should be nil")
+	}
+}
+
+func TestChunksBalanced(t *testing.T) {
+	chunks := Chunks(4, 10)
+	sizes := make([]int, len(chunks))
+	for i, c := range chunks {
+		sizes[i] = c[1] - c[0]
+	}
+	if !reflect.DeepEqual(sizes, []int{2, 3, 2, 3}) && !reflect.DeepEqual(sizes, []int{3, 3, 2, 2}) {
+		// Near-equal: no chunk may differ from another by more than 1.
+		min, max := sizes[0], sizes[0]
+		for _, s := range sizes {
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("unbalanced chunks: %v", sizes)
+		}
+	}
+}
+
+func TestWorkersResolve(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("Workers(<=0) must resolve to at least 1")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("Workers(5) != 5")
+	}
+}

@@ -26,7 +26,10 @@ type Config struct {
 	CacheDir string
 	// MemCacheBytes bounds the in-memory artifact layer (default 64 MiB).
 	MemCacheBytes int64
-	// Workers bounds concurrent ingest jobs (default GOMAXPROCS).
+	// Workers bounds concurrent ingest jobs and the cold-pipeline worker
+	// pool (tiling, statistics collection, the optimizer's shape sweep)
+	// inside each request (default GOMAXPROCS). Cold results are
+	// byte-identical at any worker count.
 	Workers int
 	// RequestTimeout bounds each request's queue wait plus the time the
 	// client is kept waiting for a result (default 30 s). Work already
@@ -93,6 +96,7 @@ func New(cfg Config) (*Server, error) {
 		tensors: make(map[string]*d2t2.Tensor),
 	}
 	s.session = d2t2.NewSession(&storeCache{s: s})
+	s.session.Workers = cfg.Workers
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/tensors", s.handleIngest)
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)

@@ -1,0 +1,35 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"d2t2/internal/gen"
+	"d2t2/internal/tiling"
+)
+
+// BenchmarkCollectFromTiled measures the full statistics pass (including
+// the micro-tile summary retiling) at several worker counts.
+func BenchmarkCollectFromTiled(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	m := gen.PowerLawGraph(r, 2048, 200_000, 1.7)
+	tt, err := tiling.New(m, []int{64, 64}, []int{0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := CollectFromTiled(m, tt, &Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.NumTiles == 0 {
+					b.Fatal("no tiles")
+				}
+			}
+		})
+	}
+}

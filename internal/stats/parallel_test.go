@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"d2t2/internal/gen"
+)
+
+// TestCollectWorkersDeterministic checks that every collected statistic
+// — including the micro summary and the portable encoding tables — is
+// identical at any worker count.
+func TestCollectWorkersDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	m := gen.PowerLawGraph(r, 512, 8000, 1.6)
+	base := Options{MicroDiv: 4}
+
+	o1 := base
+	o1.Workers = 1
+	s1, _, err := Collect(m, []int{32, 32}, []int{1, 0}, &o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o8 := base
+	o8.Workers = 8
+	s8, _, err := Collect(m, []int{32, 32}, []int{1, 0}, &o8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s8) {
+		t.Fatal("stats differ between Workers=1 and Workers=8")
+	}
+	p1, p8 := s1.Portable(), s8.Portable()
+	if !reflect.DeepEqual(p1, p8) {
+		t.Fatal("portable stats differ between Workers=1 and Workers=8")
+	}
+}
+
+// TestSketchMergeMatchesSerial pins the bottom-k merge invariant the
+// chunked entry pass relies on: merging per-part sketches equals one
+// serial pass over all hashes.
+func TestSketchMergeMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	hashes := make([]uint64, 5000)
+	for i := range hashes {
+		hashes[i] = hash64(uint64(r.Int63()))
+	}
+	serial := newBottomK(sketchSize)
+	for _, h := range hashes {
+		serial.add(h)
+	}
+	parts := []*bottomK{newBottomK(sketchSize), newBottomK(sketchSize), newBottomK(sketchSize)}
+	for i, h := range hashes {
+		parts[i%3].add(h)
+	}
+	merged := newBottomK(sketchSize)
+	// Merge in reverse order to exercise order independence too.
+	for i := len(parts) - 1; i >= 0; i-- {
+		merged.merge(parts[i])
+	}
+	if !reflect.DeepEqual(serial.values(), merged.values()) {
+		t.Fatal("merged sketch differs from serial sketch")
+	}
+}

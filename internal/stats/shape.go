@@ -28,7 +28,7 @@ type microSummary struct {
 	fpScale float64
 }
 
-func buildMicroSummary(t *tensor.COO, tt *tiling.TiledTensor, microDiv int) (*microSummary, error) {
+func buildMicroSummary(t *tensor.COO, tt *tiling.TiledTensor, microDiv, workers int) (*microSummary, error) {
 	if microDiv < 1 {
 		microDiv = 1
 	}
@@ -45,7 +45,7 @@ func buildMicroSummary(t *tensor.COO, tt *tiling.TiledTensor, microDiv int) (*mi
 	mt := tt
 	if microDiv != 1 {
 		var err error
-		mt, err = tiling.New(t, md, tt.Order)
+		mt, err = tiling.NewParallel(t, md, tt.Order, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -55,13 +55,22 @@ func buildMicroSummary(t *tensor.COO, tt *tiling.TiledTensor, microDiv int) (*mi
 		microDims: md,
 		outerDims: append([]int(nil), mt.OuterDims...),
 	}
-	// Map iteration order is irrelevant: every consumer aggregates the
+	// Keys are stored in ascending order. The consumers aggregate the
 	// micro entries order-insensitively (integer sums, maxima, set
-	// counts) and EvalShape re-sorts its group output deterministically.
-	for k, tile := range mt.Tiles {
+	// counts), but the Portable encoding serializes this table verbatim —
+	// a canonical order keeps the portable bytes byte-identical across
+	// runs and worker counts.
+	ms.keys = make([]uint64, 0, len(mt.Tiles))
+	for k := range mt.Tiles {
 		ms.keys = append(ms.keys, k)
-		ms.nnz = append(ms.nnz, checked.Int32(tile.NNZ()))
-		ms.footprint = append(ms.footprint, checked.Int32(tile.Footprint))
+	}
+	sort.Slice(ms.keys, func(i, j int) bool { return ms.keys[i] < ms.keys[j] })
+	ms.nnz = make([]int32, len(ms.keys))
+	ms.footprint = make([]int32, len(ms.keys))
+	for i, k := range ms.keys {
+		tile := mt.Tiles[k]
+		ms.nnz[i] = checked.Int32(tile.NNZ())
+		ms.footprint[i] = checked.Int32(tile.Footprint)
 	}
 
 	// Fit the footprint calibration at the base shape, where the exact

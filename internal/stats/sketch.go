@@ -60,6 +60,16 @@ func (b *bottomK) down(i int) {
 	}
 }
 
+// merge folds o's contents into b. The heap holds the k-smallest
+// multiset of everything added, and the k-smallest of a union equals the
+// k-smallest of the per-part k-smallest, so merging per-chunk sketches
+// reproduces the serial single-pass sketch exactly in any order.
+func (b *bottomK) merge(o *bottomK) {
+	for _, h := range o.heap {
+		b.add(h)
+	}
+}
+
 // values returns the sketch contents sorted ascending (duplicates
 // removed: the pair sets the sketch summarizes are sets).
 func (b *bottomK) values() []uint64 {

@@ -20,6 +20,7 @@ package stats
 import (
 	"fmt"
 
+	"d2t2/internal/par"
 	"d2t2/internal/tensor"
 	"d2t2/internal/tiling"
 )
@@ -50,6 +51,11 @@ type Options struct {
 	// measurement. The model falls back to mean-field paths where the
 	// extension statistics are missing.
 	SkipExtensions bool
+	// Workers bounds the worker pool used to partition collection over
+	// tile and entry ranges (0 = all cores). Every reduction is
+	// order-independent, so the collected statistics are byte-identical
+	// at any worker count.
+	Workers int
 }
 
 func (o *Options) withDefaults() Options {
@@ -69,6 +75,7 @@ func (o *Options) withDefaults() Options {
 		}
 		out.CorrAxes = o.CorrAxes
 		out.SkipExtensions = o.SkipExtensions
+		out.Workers = o.Workers
 	}
 	return out
 }
@@ -147,7 +154,7 @@ func (s *Stats) LevelOfAxis(axis int) int {
 // Figure 1: conservative tiling → statistics collection.
 func Collect(t *tensor.COO, baseTileDims []int, order []int, opts *Options) (*Stats, *tiling.TiledTensor, error) {
 	o := opts.withDefaults()
-	tt, err := tiling.New(t, baseTileDims, order)
+	tt, err := tiling.NewParallel(t, baseTileDims, order, o.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -192,14 +199,59 @@ func CollectFromTiled(t *tensor.COO, tt *tiling.TiledTensor, opts *Options) (*St
 		s.PrTileIdx[l] = float64(oc.FiberCount(l)) / (float64(parents) * float64(dim))
 	}
 
-	// ProbIndex: level-conditional fiber densities aggregated over tiles.
-	s.ProbIndex = make([]float64, n)
-	fiberTotals := make([]int, n)
+	// Snapshot the tiles into a slice for range partitioning. The map
+	// iteration order varies run to run, but every per-tile reduction
+	// below is a commutative integer sum or boolean OR, so the collected
+	// statistics do not depend on it (or on the worker count).
+	tilesArr := make([]*tiling.Tile, 0, len(tt.Tiles))
 	for _, tile := range tt.Tiles {
-		for l := 0; l < n; l++ {
-			fiberTotals[l] += tile.CSF.FiberCount(l)
+		tilesArr = append(tilesArr, tile)
+	}
+	tileChunks := par.Chunks(o.Workers, len(tilesArr))
+
+	// One parallel pass over tile ranges: per-level fiber totals (for
+	// ProbIndex) and outer-slice occupancy, reduced per chunk and merged.
+	type tileAgg struct {
+		fibers []int
+		occ    [][]bool
+	}
+	aggs := make([]tileAgg, len(tileChunks))
+	_ = par.ForEach(o.Workers, len(tileChunks), func(c int) error {
+		a := tileAgg{fibers: make([]int, n), occ: make([][]bool, n)}
+		for ax := 0; ax < n; ax++ {
+			a.occ[ax] = make([]bool, tt.OuterDims[ax])
+		}
+		for _, tile := range tilesArr[tileChunks[c][0]:tileChunks[c][1]] {
+			for l := 0; l < n; l++ {
+				a.fibers[l] += tile.CSF.FiberCount(l)
+			}
+			for ax, crd := range tile.Outer {
+				a.occ[ax][crd] = true
+			}
+		}
+		aggs[c] = a
+		return nil
+	})
+	fiberTotals := make([]int, n)
+	s.occupancy = make([][]bool, n)
+	for ax := 0; ax < n; ax++ {
+		s.occupancy[ax] = make([]bool, tt.OuterDims[ax])
+	}
+	for _, a := range aggs {
+		for l, v := range a.fibers {
+			fiberTotals[l] += v
+		}
+		for ax := range a.occ {
+			for i, b := range a.occ[ax] {
+				if b {
+					s.occupancy[ax][i] = true
+				}
+			}
 		}
 	}
+
+	// ProbIndex: level-conditional fiber densities aggregated over tiles.
+	s.ProbIndex = make([]float64, n)
 	for l := 0; l < n; l++ {
 		ax := tt.Order[l]
 		parents := len(tt.Tiles)
@@ -214,27 +266,53 @@ func CollectFromTiled(t *tensor.COO, tt *tiling.TiledTensor, opts *Options) (*St
 	}
 
 	// Per-element slice histograms and pair sketches (one pass over the
-	// raw entries) — extension statistics beyond the paper's collector.
+	// raw entries, partitioned into disjoint entry ranges) — extension
+	// statistics beyond the paper's collector. Per-chunk histograms sum
+	// elementwise; per-chunk bottom-k sketches merge into the k-smallest
+	// multiset of all hashes, so both match the serial pass exactly.
 	if !o.SkipExtensions {
+		entryChunks := par.Chunks(o.Workers, t.NNZ())
+		type entryAgg struct {
+			counts   [][]int32
+			sketches []*bottomK
+		}
+		eaggs := make([]entryAgg, len(entryChunks))
+		_ = par.ForEach(o.Workers, len(entryChunks), func(c int) error {
+			ea := entryAgg{counts: make([][]int32, n), sketches: make([]*bottomK, n)}
+			for a := 0; a < n; a++ {
+				ea.counts[a] = make([]int32, t.Dims[a])
+				ea.sketches[a] = newBottomK(sketchSize)
+			}
+			for p := entryChunks[c][0]; p < entryChunks[c][1]; p++ {
+				for a := 0; a < n; a++ {
+					ea.counts[a][t.Crds[a][p]]++
+					// Pair key: axis coordinate × coarse bucket of the rest.
+					var rest uint64
+					for b := 0; b < n; b++ {
+						if b == a {
+							continue
+						}
+						bucket := t.Crds[b][p] / tt.TileDims[b]
+						rest = rest*uint64(tt.OuterDims[b]+1) + uint64(bucket)
+					}
+					ea.sketches[a].add(hash64(uint64(t.Crds[a][p])<<26 ^ rest))
+				}
+			}
+			eaggs[c] = ea
+			return nil
+		})
 		s.ElemCounts = make([][]int32, n)
 		sketches := make([]*bottomK, n)
 		for a := 0; a < n; a++ {
 			s.ElemCounts[a] = make([]int32, t.Dims[a])
 			sketches[a] = newBottomK(sketchSize)
 		}
-		for p := 0; p < t.NNZ(); p++ {
+		for _, ea := range eaggs {
 			for a := 0; a < n; a++ {
-				s.ElemCounts[a][t.Crds[a][p]]++
-				// Pair key: axis coordinate × coarse bucket of the rest.
-				var rest uint64
-				for b := 0; b < n; b++ {
-					if b == a {
-						continue
-					}
-					bucket := t.Crds[b][p] / tt.TileDims[b]
-					rest = rest*uint64(tt.OuterDims[b]+1) + uint64(bucket)
+				for v, c := range ea.counts[a] {
+					s.ElemCounts[a][v] += c
 				}
-				sketches[a].add(hash64(uint64(t.Crds[a][p])<<26 ^ rest))
+				sketches[a].merge(ea.sketches[a])
 			}
 		}
 		s.PairSketch = make([][]uint64, n)
@@ -243,22 +321,16 @@ func CollectFromTiled(t *tensor.COO, tt *tiling.TiledTensor, opts *Options) (*St
 		}
 	}
 
-	// Outer-slice occupancy and TileCorrs per axis.
-	s.occupancy = make([][]bool, n)
-	for a := 0; a < n; a++ {
-		s.occupancy[a] = make([]bool, tt.OuterDims[a])
-	}
-	for _, tile := range tt.Tiles {
-		for a, c := range tile.Outer {
-			s.occupancy[a][c] = true
-		}
-	}
+	// TileCorrs per axis (occupancy was reduced above; read-only here).
 	s.TileCorrs = make([][]float64, n)
-	for a := 0; a < n; a++ {
+	_ = par.ForEach(o.Workers, n, func(a int) error {
 		s.TileCorrs[a] = tileCorrs(s.occupancy[a], o.TileCorrMaxShift)
-	}
+		return nil
+	})
 
-	// Element-granularity Corrs along the requested axes.
+	// Element-granularity Corrs along the requested axes, one worker per
+	// axis (each axis reads the raw tensor independently and the result
+	// lands in its own slot).
 	axes := o.CorrAxes
 	if axes == nil {
 		axes = make([]int, n)
@@ -270,15 +342,24 @@ func CollectFromTiled(t *tensor.COO, tt *tiling.TiledTensor, opts *Options) (*St
 		if ax < 0 || ax >= n {
 			return nil, fmt.Errorf("stats: corr axis %d out of range", ax)
 		}
+	}
+	corrs, err := par.Map(o.Workers, len(axes), func(i int) ([]float64, error) {
+		ax := axes[i]
 		maxShift := o.CorrMaxShift
 		if maxShift == 0 {
 			maxShift = 2 * tt.TileDims[ax]
 		}
-		s.Corrs[ax] = corrsAxis(t, ax, maxShift, o.CorrSampleTarget)
+		return corrsAxis(t, ax, maxShift, o.CorrSampleTarget), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ax := range axes {
+		s.Corrs[ax] = corrs[i]
 	}
 
 	// Micro-tile occupancy summary for exact shape re-evaluation.
-	micro, err := buildMicroSummary(t, tt, o.MicroDiv)
+	micro, err := buildMicroSummary(t, tt, o.MicroDiv, o.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"d2t2/internal/formats"
+	"d2t2/internal/par"
 	"d2t2/internal/tensor"
 )
 
@@ -104,29 +105,47 @@ func (tt *TiledTensor) Lookup(outer ...int) *Tile {
 }
 
 // SortedKeys returns tile keys sorted by outer coordinates in Order
-// (useful for deterministic iteration).
+// (useful for deterministic iteration). Each key is decoded once into a
+// level-order re-packing, so the sort compares plain uint64s instead of
+// calling Unkey twice per comparison.
 func (tt *TiledTensor) SortedKeys() []uint64 {
-	keys := make([]uint64, 0, len(tt.Tiles))
-	for k := range tt.Tiles {
-		keys = append(keys, k)
-	}
 	n := len(tt.Dims)
-	sort.Slice(keys, func(a, b int) bool {
-		ca, cb := Unkey(keys[a], n), Unkey(keys[b], n)
+	type keyPair struct{ ord, key uint64 }
+	pairs := make([]keyPair, 0, len(tt.Tiles))
+	for k := range tt.Tiles {
+		c := Unkey(k, n)
+		var ord uint64
 		for _, ax := range tt.Order {
-			if ca[ax] != cb[ax] {
-				return ca[ax] < cb[ax]
-			}
+			ord = ord<<keyShift | uint64(c[ax])
 		}
-		return false
-	})
+		pairs = append(pairs, keyPair{ord, k})
+	}
+	// Keys are unique and ord is a bijective re-packing, so this is a
+	// strict total order identical to comparing coordinates level by level.
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].ord < pairs[b].ord })
+	keys := make([]uint64, len(pairs))
+	for i, p := range pairs {
+		keys[i] = p.key
+	}
 	return keys
 }
 
 // Tile partitions t into coordinate-space tiles of size tileDims (per
 // axis) with inner/outer CSF levels following order (nil = natural).
 // The input must be duplicate-free (Dedup'd); entries are not modified.
+// All cores are used; the result is byte-identical at any worker count
+// (see NewParallel).
 func New(t *tensor.COO, tileDims []int, order []int) (*TiledTensor, error) {
+	return NewParallel(t, tileDims, order, 0)
+}
+
+// NewParallel is New with an explicit worker count (0 = all cores).
+// Entries are bucketed by outer tile key in a single group-by pass —
+// no global comparison sort over the whole tensor — and each tile's
+// inner CSF is built independently on a worker pool. Tiles are merged
+// in a deterministic keyed order, so the result is byte-identical for
+// every worker count.
+func NewParallel(t *tensor.COO, tileDims []int, order []int, workers int) (*TiledTensor, error) {
 	n := t.Order()
 	if len(tileDims) != n {
 		return nil, fmt.Errorf("tiling: %d tile dims for order-%d tensor", len(tileDims), n)
@@ -168,87 +187,121 @@ func New(t *tensor.COO, tileDims []int, order []int) (*TiledTensor, error) {
 	}
 
 	nnz := t.NNZ()
-	// Precompute outer and inner coordinates per entry, in level order.
-	outer := make([][]int32, n)
+
+	// Pass 1 (parallel over disjoint entry ranges): per-entry inner
+	// coordinates per level and the outer tile key packed in level order.
+	// The keyShift guard above bounds every outer coordinate below
+	// 2^keyShift, so n levels always fit one uint64 (Key relies on the
+	// same bound in axis order).
 	inner := make([][]int32, n)
-	for l, ax := range order {
-		o := make([]int32, nnz)
-		in := make([]int32, nnz)
-		td := tileDims[ax]
-		src := t.Crds[ax]
-		for p := 0; p < nnz; p++ {
-			o[p] = int32(src[p] / td)
-			in[p] = int32(src[p] % td)
+	for l := range inner {
+		inner[l] = make([]int32, nnz)
+	}
+	gkeys := make([]uint64, nnz)
+	chunks := par.Chunks(workers, nnz)
+	_ = par.ForEach(workers, len(chunks), func(c int) error {
+		for p := chunks[c][0]; p < chunks[c][1]; p++ {
+			var k uint64
+			for l, ax := range order {
+				crd := t.Crds[ax][p]
+				td := tileDims[ax]
+				k = k<<keyShift | uint64(crd/td)
+				inner[l][p] = int32(crd % td)
+			}
+			gkeys[p] = k
 		}
-		outer[l] = o
-		inner[l] = in
+		return nil
+	})
+
+	// Pass 2 (serial): discover groups in first-appearance order and
+	// count entries per group.
+	gidOf := make(map[uint64]int, 64)
+	groupKeys := make([]uint64, 0, 64)
+	counts := make([]int, 0, 64)
+	gidPer := make([]int, nnz)
+	for p := 0; p < nnz; p++ {
+		k := gkeys[p]
+		g, ok := gidOf[k]
+		if !ok {
+			g = len(groupKeys)
+			gidOf[k] = g
+			groupKeys = append(groupKeys, k)
+			counts = append(counts, 0)
+		}
+		gidPer[p] = g
+		counts[g]++
 	}
 
-	idx := make([]int, nnz)
-	for i := range idx {
-		idx[i] = i
+	// Pass 3 (serial): counting-sort entry indices into per-group
+	// contiguous segments (stable within each group).
+	starts := make([]int, len(groupKeys)+1)
+	for g, c := range counts {
+		starts[g+1] = starts[g] + c
 	}
-	sort.Slice(idx, func(x, y int) bool {
-		p, q := idx[x], idx[y]
-		for l := 0; l < n; l++ {
-			if outer[l][p] != outer[l][q] {
-				return outer[l][p] < outer[l][q]
-			}
-		}
-		for l := 0; l < n; l++ {
-			if inner[l][p] != inner[l][q] {
-				return inner[l][p] < inner[l][q]
-			}
-		}
-		return false
-	})
+	entOf := make([]int, nnz)
+	cursor := append([]int(nil), starts[:len(groupKeys)]...)
+	for p := 0; p < nnz; p++ {
+		g := gidPer[p]
+		entOf[cursor[g]] = p
+		cursor[g]++
+	}
 
 	innerDims := make([]int, n)
 	for l, ax := range order {
 		innerDims[l] = tileDims[ax]
 	}
 
-	// Scan runs of identical outer coordinates, building one inner CSF
-	// per run from the pre-sorted entries.
-	sameOuter := func(p, q int) bool {
-		for l := 0; l < n; l++ {
-			if outer[l][p] != outer[l][q] {
-				return false
+	// Pass 4 (parallel per group): sort each group's entries by inner
+	// coordinates in level order (a strict total order — the input is
+	// duplicate-free) and build its inner CSF. Workers write disjoint
+	// slots of the per-group slice; no shared state.
+	tiles := make([]*Tile, len(groupKeys))
+	err := par.ForEach(workers, len(groupKeys), func(g int) error {
+		seg := entOf[starts[g]:starts[g+1]]
+		sort.Slice(seg, func(x, y int) bool {
+			p, q := seg[x], seg[y]
+			for l := 0; l < n; l++ {
+				if inner[l][p] != inner[l][q] {
+					return inner[l][p] < inner[l][q]
+				}
 			}
-		}
-		return true
-	}
-	runCrds := make([][]int32, n)
-	buildRun := func(lo, hi int) {
+			return false
+		})
+		runCrds := make([][]int32, n)
 		for l := 0; l < n; l++ {
-			col := make([]int32, 0, hi-lo)
-			for x := lo; x < hi; x++ {
-				col = append(col, inner[l][idx[x]])
+			col := make([]int32, len(seg))
+			for x, p := range seg {
+				col[x] = inner[l][p]
 			}
 			runCrds[l] = col
 		}
-		vals := make([]float64, 0, hi-lo)
-		for x := lo; x < hi; x++ {
-			vals = append(vals, t.Vals[idx[x]])
+		vals := make([]float64, len(seg))
+		for x, p := range seg {
+			vals[x] = t.Vals[p]
 		}
 		csf := formats.BuildSortedUnique(innerDims, order, runCrds, vals)
+		// Decode the level-order group key back into axis-order coords.
+		k := groupKeys[g]
 		oc := make([]int, n)
-		p0 := idx[lo]
-		for l, ax := range order {
-			oc[ax] = int(outer[l][p0])
+		for l := n - 1; l >= 0; l-- {
+			oc[order[l]] = int(k & (1<<keyShift - 1))
+			k >>= keyShift
 		}
-		tile := &Tile{Outer: oc, CSF: csf, Footprint: csf.FootprintWords()}
-		tt.Tiles[Key(oc)] = tile
+		tiles[g] = &Tile{Outer: oc, CSF: csf, Footprint: csf.FootprintWords()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 5 (serial): keyed merge in group order. The aggregates are an
+	// integer sum and maximum, so the totals are independent of group
+	// discovery order.
+	for _, tile := range tiles {
+		tt.Tiles[Key(tile.Outer)] = tile
 		tt.TotalFootprint += tile.Footprint
 		if tile.Footprint > tt.MaxFootprint {
 			tt.MaxFootprint = tile.Footprint
-		}
-	}
-	lo := 0
-	for p := 1; p <= nnz; p++ {
-		if p == nnz || !sameOuter(idx[p], idx[lo]) {
-			buildRun(lo, p)
-			lo = p
 		}
 	}
 

@@ -38,6 +38,13 @@ type StatsCache interface {
 // the same tensor may collect twice; collection is deterministic, so
 // both arrive at identical statistics.
 type Session struct {
+	// Workers bounds the worker pool the session's cold pipeline uses for
+	// tiling, statistics collection and the shape sweep (0 = all cores).
+	// Set it before the session is shared across goroutines; per-call
+	// Options.Workers takes precedence when non-zero. Collection is
+	// byte-identical at any worker count.
+	Workers int
+
 	cache StatsCache
 
 	mu   sync.Mutex
@@ -95,7 +102,8 @@ func (s *Session) statsFor(t *Tensor, tileDims, order []int) (*stats.Stats, erro
 			return st, nil
 		}
 	}
-	st, tt, err := stats.Collect(t.coo, tileDims, order, &stats.Options{MicroDiv: sessionMicroDiv})
+	st, tt, err := stats.Collect(t.coo, tileDims, order,
+		&stats.Options{MicroDiv: sessionMicroDiv, Workers: s.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -116,6 +124,9 @@ func (s *Session) statsFor(t *Tensor, tileDims, order []int) (*stats.Stats, erro
 // straight to the shape/size search.
 func (s *Session) Optimize(k *Kernel, inputs Inputs, opts Options) (*Plan, error) {
 	o := opts.lower()
+	if o.Workers == 0 {
+		o.Workers = s.Workers
+	}
 	base, err := o.ConservativeBase(k.expr)
 	if err != nil {
 		return nil, err
