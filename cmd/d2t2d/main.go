@@ -48,7 +48,11 @@ func run(args []string) error {
 	cacheDir := fs.String("cache-dir", "d2t2d-cache", "artifact cache directory (empty = memory only)")
 	memMB := fs.Int("mem-cache-mb", 64, "in-memory artifact cache budget in MiB")
 	workers := fs.Int("workers", 0, "ingest + cold-pipeline worker count (0 = all cores)")
-	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request timeout")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request compute deadline (queue wait + pipeline)")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 0, "time allowed to read request headers (0 = default 5s)")
+	readTimeout := fs.Duration("read-timeout", 0, "time allowed to read a whole request (0 = request-timeout + 30s)")
+	writeTimeout := fs.Duration("write-timeout", 0, "time allowed to write a whole response (0 = request-timeout + 30s)")
+	idleTimeout := fs.Duration("idle-timeout", 0, "keep-alive idle connection bound (0 = default 2m)")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain bound")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
@@ -60,10 +64,14 @@ func run(args []string) error {
 	}
 
 	srv, err := serve.New(serve.Config{
-		CacheDir:       *cacheDir,
-		MemCacheBytes:  int64(*memMB) << 20,
-		Workers:        *workers,
-		RequestTimeout: *reqTimeout,
+		CacheDir:          *cacheDir,
+		MemCacheBytes:     int64(*memMB) << 20,
+		Workers:           *workers,
+		RequestTimeout:    *reqTimeout,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	})
 	if err != nil {
 		return err

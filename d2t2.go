@@ -30,6 +30,7 @@
 package d2t2
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -271,7 +272,16 @@ func newPlan(res *optimizer.Result, k *Kernel, inputs Inputs) *Plan {
 
 // Optimize runs the D2T2 pipeline and returns the chosen plan.
 func Optimize(k *Kernel, inputs Inputs, opts Options) (*Plan, error) {
-	res, err := optimizer.Optimize(k.expr, inputs.lower(), opts.lower())
+	return OptimizeCtx(context.Background(), k, inputs, opts)
+}
+
+// OptimizeCtx is Optimize with cooperative cancellation: a cancelled or
+// deadline-expired ctx stops the pipeline at its next work-item
+// boundary (tile group, collection chunk, sweep candidate, growth
+// doubling) and returns the context's error. A never-cancelled ctx
+// yields exactly Optimize's byte-identical plan.
+func OptimizeCtx(ctx context.Context, k *Kernel, inputs Inputs, opts Options) (*Plan, error) {
+	res, err := optimizer.OptimizeCtx(ctx, k.expr, inputs.lower(), opts.lower())
 	if err != nil {
 		return nil, err
 	}
@@ -314,6 +324,22 @@ func (r *TrafficReport) TotalMB() float64 { return r.traffic.TotalMB() }
 // kernel on the measurement backend, returning exact traffic.
 func (p *Plan) Measure() (*TrafficReport, error) {
 	return MeasureConfig(p.kernel, p.inputs, p.Config)
+}
+
+// MeasureCtx is Measure with cooperative cancellation of the retiling
+// pass. The measurement backend's kernel execution itself is not
+// cancellable — a deadline aborts the (dominant) tiling fan-out but a
+// measurement already executing runs to completion.
+func (p *Plan) MeasureCtx(ctx context.Context) (*TrafficReport, error) {
+	tiled, err := optimizer.TileAllCtx(ctx, p.kernel.expr, p.inputs.lower(), model.Config(p.Config), 0)
+	if err != nil {
+		return nil, err
+	}
+	res, err := exec.Measure(p.kernel.expr, tiled, nil)
+	if err != nil {
+		return nil, err
+	}
+	return newReport(&res.Traffic), nil
 }
 
 // Execute runs the kernel and returns the result tensor along with the

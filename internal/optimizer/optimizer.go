@@ -17,6 +17,7 @@
 package optimizer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -122,6 +123,17 @@ type Result struct {
 
 // Optimize runs the full D2T2 pipeline for kernel e over the inputs.
 func Optimize(e *einsum.Expr, inputs map[string]*tensor.COO, opts Options) (*Result, error) {
+	return OptimizeCtx(context.Background(), e, inputs, opts)
+}
+
+// OptimizeCtx is Optimize with cooperative cancellation: the per-input
+// tile-and-collect fan-out, the RF shape sweep and the greedy size
+// growth all consult ctx between work items, so a cancelled or
+// deadline-expired context stops the pipeline near the cancellation
+// point and returns the context's error instead of running the
+// remaining compute to completion. A never-cancelled ctx yields exactly
+// Optimize's byte-identical result at any worker count.
+func OptimizeCtx(ctx context.Context, e *einsum.Expr, inputs map[string]*tensor.COO, opts Options) (*Result, error) {
 	o := opts.withDefaults()
 	if o.BufferWords <= 0 {
 		return nil, fmt.Errorf("optimizer: BufferWords must be positive")
@@ -165,7 +177,7 @@ func Optimize(e *einsum.Expr, inputs map[string]*tensor.COO, opts Options) (*Res
 		seen[ref.Name] = true
 		work = append(work, ref)
 	}
-	cols, err := par.Map(o.Workers, len(work), func(i int) (collected, error) {
+	cols, err := par.MapCtx(ctx, o.Workers, len(work), func(i int) (collected, error) {
 		ref := work[i]
 		base := make([]int, len(ref.Indices))
 		for a := range base {
@@ -177,7 +189,7 @@ func Optimize(e *einsum.Expr, inputs map[string]*tensor.COO, opts Options) (*Res
 			}
 			return collected{s: st}, nil
 		}
-		s, tt, err := stats.Collect(inputs[ref.Name], base, e.LevelOrder(ref),
+		s, tt, err := stats.CollectCtx(ctx, inputs[ref.Name], base, e.LevelOrder(ref),
 			&stats.Options{MicroDiv: o.MicroDiv, Workers: o.Workers})
 		if err != nil {
 			return collected{}, err
@@ -217,7 +229,7 @@ func Optimize(e *einsum.Expr, inputs map[string]*tensor.COO, opts Options) (*Res
 		keep bool
 		p    *model.Prediction
 	}
-	sweeps, err := par.Map(o.Workers, len(rfs), func(i int) (swept, error) {
+	sweeps, err := par.MapCtx(ctx, o.Workers, len(rfs), func(i int) (swept, error) {
 		rf := rfs[i]
 		cfg := make(model.Config, len(e.Order))
 		for _, ix := range e.Order {
@@ -272,7 +284,7 @@ func Optimize(e *einsum.Expr, inputs map[string]*tensor.COO, opts Options) (*Res
 
 	// 4. Size optimization.
 	if !o.SkipResize {
-		if err := res.grow(pred, upIdx, o); err != nil {
+		if err := res.grow(ctx, pred, upIdx, o); err != nil {
 			return nil, err
 		}
 		p, err := pred.Predict(res.Config)
@@ -389,7 +401,9 @@ func corrsOnlyRF(e *einsum.Expr, st map[string]*stats.Stats, baseTile int, o Opt
 // grow implements the size optimization: seed with the Eq. 22 TileFactor
 // on the primary output index, then greedily double output-index tile
 // dimensions while every input's largest actual tile fits the buffer.
-func (r *Result) grow(pred *model.Predictor, upIdx string, o Options) error {
+// ctx is consulted once per candidate doubling — each candidate costs a
+// model prediction, the growth loop's unit of work.
+func (r *Result) grow(ctx context.Context, pred *model.Predictor, upIdx string, o Options) error {
 	// Eq. 22: TileFactor = BufferSize / MaxTiles at the chosen shape.
 	maxTile := 0
 	for _, ref := range r.Expr.Inputs() {
@@ -455,6 +469,9 @@ func (r *Result) grow(pred *model.Predictor, upIdx string, o Options) error {
 	for pass := 0; pass < o.MaxGrowthDoublings; pass++ {
 		improved := false
 		for _, ix := range idxs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			cand := r.Config.Clone()
 			cand[ix] = r.snapIdx(ix, cand[ix]*2)
 			if cand[ix] == r.Config[ix] {
@@ -531,8 +548,15 @@ func TileAll(e *einsum.Expr, inputs map[string]*tensor.COO, cfg model.Config) (m
 // cores): inputs retile concurrently, each on the parallel tiler. The
 // output is identical at any worker count.
 func TileAllWorkers(e *einsum.Expr, inputs map[string]*tensor.COO, cfg model.Config, workers int) (map[string]*tiling.TiledTensor, error) {
+	return TileAllCtx(context.Background(), e, inputs, cfg, workers)
+}
+
+// TileAllCtx is TileAllWorkers with cooperative cancellation: the
+// per-input fan-out and each input's tiler stop claiming work once ctx
+// is cancelled.
+func TileAllCtx(ctx context.Context, e *einsum.Expr, inputs map[string]*tensor.COO, cfg model.Config, workers int) (map[string]*tiling.TiledTensor, error) {
 	refs := e.Inputs()
-	tts, err := par.Map(workers, len(refs), func(i int) (*tiling.TiledTensor, error) {
+	tts, err := par.MapCtx(ctx, workers, len(refs), func(i int) (*tiling.TiledTensor, error) {
 		ref := refs[i]
 		m := inputs[ref.Name]
 		if m == nil {
@@ -549,7 +573,7 @@ func TileAllWorkers(e *einsum.Expr, inputs map[string]*tensor.COO, cfg model.Con
 			}
 			dims[a] = td
 		}
-		return tiling.NewParallel(m, dims, e.LevelOrder(ref), workers)
+		return tiling.NewCtx(ctx, m, dims, e.LevelOrder(ref), workers)
 	})
 	if err != nil {
 		return nil, err

@@ -10,6 +10,7 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -43,8 +44,23 @@ func (p *PanicError) Error() string { return fmt.Sprintf("par: worker panic: %v"
 // *PanicError for its index and competes for lowest-index like any other
 // failure; remaining items still run.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: every worker
+// consults ctx.Err() before claiming the next index, so a cancelled or
+// deadline-expired context stops the fan-out at the next item boundary
+// instead of running the remaining items to completion. The item a
+// worker observed the cancellation at records ctx.Err() as its error and
+// competes for lowest-index like any other failure — so a cancelled call
+// returns the context's error (wrapped results must test with
+// errors.Is). Items that completed before the cancellation keep their
+// outcomes; in-flight items are never interrupted mid-fn. With a
+// never-cancelled context the semantics — and the results written by fn
+// — are exactly ForEach's, byte-identical at any worker count.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -52,8 +68,12 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		// Inline fast path: identical semantics (first error by index,
-		// panics captured), none of the goroutine machinery.
+		// panics captured, ctx checked per item), none of the goroutine
+		// machinery.
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := runItem(i, fn); err != nil {
 				return err
 			}
@@ -71,6 +91,13 @@ func ForEach(workers, n int, fn func(i int) error) error {
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					// Record the cancellation at the claimed index and stop
+					// claiming; sibling workers observe the same ctx on
+					// their next claim.
+					errs[i] = err
 					return
 				}
 				errs[i] = runItem(i, fn)
@@ -100,8 +127,15 @@ func runItem(i int, fn func(int) error) (err error) {
 // order. On error the partial results are discarded and the
 // lowest-index error is returned.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation (see ForEachCtx): a
+// cancelled context discards the partial results and returns the
+// context's error under the lowest-index-wins rule.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(workers, n, func(i int) error {
+	err := ForEachCtx(ctx, workers, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -88,6 +89,104 @@ func TestMapErrorDiscardsResults(t *testing.T) {
 	})
 	if out != nil || err == nil || err.Error() != "item 5" {
 		t.Fatalf("want (nil, item 5), got (%v, %v)", out, err)
+	}
+}
+
+func TestForEachCtxCancelStopsClaiming(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran int32
+		err := ForEachCtx(ctx, workers, 100_000, func(i int) error {
+			if atomic.AddInt32(&ran, 1) == 8 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// In-flight items finish, but no worker may claim fresh work after
+		// the cancel: far fewer than n items ran.
+		if n := atomic.LoadInt32(&ran); n >= 100_000 {
+			t.Fatalf("workers=%d: all %d items ran despite cancellation", workers, n)
+		}
+	}
+}
+
+func TestForEachCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		err := ForEachCtx(ctx, workers, 64, func(i int) error {
+			t.Errorf("workers=%d: fn ran for index %d", workers, i)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	// Even the n == 0 fast path reports a dead context.
+	if err := ForEachCtx(ctx, 4, 0, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("n=0: err = %v, want context.Canceled", err)
+	}
+	if err := ForEachCtx(context.Background(), 4, 0, nil); err != nil {
+		t.Fatalf("n=0 live ctx: %v", err)
+	}
+}
+
+// TestForEachCtxFnErrorBeatsCancellation pins the interaction of the
+// lowest-index-wins rule with cancellation: a worker records ctx.Err()
+// at the index it claimed, and the claim counter is monotonic, so every
+// cancellation triggered BY an item error lands at a higher index than
+// the error itself — callers always see the root cause, never the
+// secondary context error.
+func TestForEachCtxFnErrorBeatsCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		ctx, cancel := context.WithCancel(context.Background())
+		err := ForEachCtx(ctx, workers, 256, func(i int) error {
+			if i == 3 {
+				cancel()
+				return fmt.Errorf("item %d", i)
+			}
+			return nil
+		})
+		cancel()
+		if err == nil || err.Error() != "item 3" {
+			t.Fatalf("workers=%d: want \"item 3\", got %v", workers, err)
+		}
+	}
+}
+
+func TestForEachCtxUncancelledMatchesForEach(t *testing.T) {
+	for _, workers := range []int{1, 5} {
+		n := 129
+		hits := make([]int32, n)
+		err := ForEachCtx(context.Background(), workers, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestMapCtxCancelDiscardsResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := MapCtx(ctx, 4, 10, func(i int) (int, error) { return i, nil })
+	if out != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want (nil, context.Canceled), got (%v, %v)", out, err)
+	}
+	good, err := MapCtx(context.Background(), 4, 10, func(i int) (int, error) { return i * 2, nil })
+	if err != nil || len(good) != 10 || good[7] != 14 {
+		t.Fatalf("live ctx MapCtx: (%v, %v)", good, err)
 	}
 }
 

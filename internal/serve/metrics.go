@@ -24,6 +24,10 @@ var counterNames = []string{
 	"stats_queries_total",
 	"bytes_served",
 	"http_errors",
+	"requests_timeout",
+	"requests_cancelled",
+	"pool_abandoned_queued",
+	"pool_abandoned_running",
 }
 
 // latencyBucketsMs are the upper bounds (inclusive, milliseconds) of the

@@ -9,11 +9,13 @@ import (
 // ErrShuttingDown is returned for work submitted after shutdown began.
 var ErrShuttingDown = errors.New("serve: shutting down")
 
-// pool is a bounded worker pool for ingest jobs: parsing an uploaded
-// tensor and collecting its statistics is CPU-bound, so at most n run at
-// once no matter how many uploads are in flight. The jobs channel is
-// unbuffered — a successful send means a worker holds the job, so
-// shutdown can never strand an accepted job in a buffer.
+// pool is the bounded compute pool: ingest parsing and the cold
+// optimize/predict/stats pipelines are CPU-bound, so at most n jobs run
+// at once no matter how many requests are in flight — queued requests
+// wait (their queue time counts against the request deadline) instead of
+// spawning unbounded pipelines. The jobs channel is unbuffered — a
+// successful send means a worker holds the job, so shutdown can never
+// strand an accepted job in a buffer.
 type pool struct {
 	jobs chan func()
 	quit chan struct{}
@@ -46,11 +48,26 @@ func newPool(n int) *pool {
 	return p
 }
 
-// run submits job and blocks until it completes or ctx expires while the
-// job is still queued or running. A ctx expiry after hand-off does not
-// cancel the job itself — the worker finishes it (results land in the
-// cache for the retry); only the caller stops waiting.
-func (p *pool) run(ctx context.Context, job func()) error {
+// run submits job and blocks until it completes or ctx expires. The
+// returned started flag reports whether a worker ever took the job:
+//
+//   - started == false: the job was abandoned while still queued — it
+//     will never run, and err says why (ErrShuttingDown or ctx.Err()).
+//   - started == true, err == nil: the job ran to completion; its
+//     outputs are safe to read.
+//   - started == true, err != nil: ctx expired after hand-off. The
+//     worker is still finishing the job (jobs observe the same ctx, so
+//     ctx-aware work winds down at its next check), and the caller must
+//     NOT read anything the job writes. The job must not touch the
+//     request or response writer — hand it buffered data only.
+func (p *pool) run(ctx context.Context, job func()) (started bool, err error) {
+	// A context that is already dead never hands off: without this check
+	// an idle worker and the dead context race in the select below, and a
+	// request whose deadline expired while its body was still uploading
+	// would sometimes burn a pool slot on work nobody will read.
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	done := make(chan struct{})
 	wrapped := func() {
 		defer close(done)
@@ -59,15 +76,15 @@ func (p *pool) run(ctx context.Context, job func()) error {
 	select {
 	case p.jobs <- wrapped:
 	case <-p.quit:
-		return ErrShuttingDown
+		return false, ErrShuttingDown
 	case <-ctx.Done():
-		return ctx.Err()
+		return false, ctx.Err()
 	}
 	select {
 	case <-done:
-		return nil
+		return true, nil
 	case <-ctx.Done():
-		return ctx.Err()
+		return true, ctx.Err()
 	}
 }
 

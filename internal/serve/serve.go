@@ -1,13 +1,18 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
+	"io"
+	"mime"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -26,16 +31,34 @@ type Config struct {
 	CacheDir string
 	// MemCacheBytes bounds the in-memory artifact layer (default 64 MiB).
 	MemCacheBytes int64
-	// Workers bounds concurrent ingest jobs and the cold-pipeline worker
-	// pool (tiling, statistics collection, the optimizer's shape sweep)
-	// inside each request (default GOMAXPROCS). Cold results are
-	// byte-identical at any worker count.
+	// Workers bounds how many requests run compute at once — every
+	// CPU-heavy job (ingest parsing, the optimize/predict/stats cold
+	// pipelines) goes through one bounded pool of this size, so N
+	// concurrent requests queue instead of spawning N pipelines — and
+	// also sizes the cold pipeline's worker pool inside each job
+	// (default GOMAXPROCS). Cold results are byte-identical at any
+	// worker count.
 	Workers int
-	// RequestTimeout bounds each request's queue wait plus the time the
-	// client is kept waiting for a result (default 30 s). Work already
-	// handed to a worker runs to completion either way — its artifacts
-	// land in the cache for the retry.
+	// RequestTimeout bounds each request end to end: queue wait for a
+	// compute slot plus the compute itself (default 30 s). On expiry the
+	// request context is cancelled and the cold pipeline stops claiming
+	// work at its next item boundary — an abandoned request does not
+	// keep burning CPU. Completed sub-steps (a finished statistics
+	// collection) still land in the cache for the retry.
 	RequestTimeout time.Duration
+	// ReadHeaderTimeout bounds reading one request's header block
+	// (default 5 s) — the slowloris guard.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading a whole request including its body
+	// (default RequestTimeout + 30 s; keep it above RequestTimeout so
+	// the handler's deadline, not the connection reaper, decides an
+	// accepted request's fate).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing a response (default RequestTimeout +
+	// 30 s, above RequestTimeout for the same reason).
+	WriteTimeout time.Duration
+	// IdleTimeout reaps idle keep-alive connections (default 2 min).
+	IdleTimeout time.Duration
 	// MaxUploadBytes bounds one tensor upload (default 256 MiB).
 	MaxUploadBytes int64
 	// DefaultStatsTile is the conservative square tile used when a
@@ -53,6 +76,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
+	}
+	if c.ReadHeaderTimeout <= 0 {
+		c.ReadHeaderTimeout = 5 * time.Second
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = c.RequestTimeout + 30*time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = c.RequestTimeout + 30*time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
 	}
 	if c.MaxUploadBytes <= 0 {
 		c.MaxUploadBytes = 256 << 20
@@ -120,9 +155,18 @@ func (s *Server) Handler() http.Handler {
 }
 
 // ListenAndServe runs the service on addr until Shutdown. A clean
-// shutdown returns nil.
+// shutdown returns nil. The underlying http.Server carries the
+// Config's connection timeouts so a client trickling bytes (slowloris)
+// cannot hold a connection open indefinitely.
 func (s *Server) ListenAndServe(addr string) error {
-	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		WriteTimeout:      s.cfg.WriteTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+	}
 	s.mu.Lock()
 	s.httpSrv = srv
 	s.mu.Unlock()
@@ -274,12 +318,34 @@ type statsResponse struct {
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.metrics.add("ingest_total", 1)
+	// Buffer the upload on the handler goroutine before hand-off: a
+	// worker must never touch the request (net/http forbids reads after
+	// ServeHTTP returns, so a job abandoned at the deadline would race
+	// the exiting handler). JSON gen specs are tiny; raw tensor bodies
+	// are bounded by MaxUploadBytes. The read itself is bounded by the
+	// server's ReadTimeout, so a slow-trickling client cannot pin the
+	// handler forever.
+	asJSON := isJSONContentType(r.Header.Get("Content-Type"))
+	limit := s.cfg.MaxUploadBytes
+	if asJSON {
+		limit = 1 << 20
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		s.metrics.add("ingest_errors", 1)
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("read upload: %w", err))
+		return
+	}
 	var resp ingestResponse
 	var jobErr error
-	job := func() { resp, jobErr = s.ingest(r) }
-	if err := s.pool.run(r.Context(), job); err != nil {
+	job := func() { resp, jobErr = s.ingest(asJSON, body) }
+	if err := s.runCompute(r.Context(), job); err != nil {
+		// Abandoned while queued (never ran) or at the deadline after
+		// hand-off — in the latter case the worker finishes the buffered
+		// job on its own (the artifact lands in the cache for a retry)
+		// and resp/jobErr must not be read.
 		s.metrics.add("ingest_errors", 1)
-		s.writeError(w, poolStatus(err), err)
+		s.writeComputeError(w, err, http.StatusInternalServerError)
 		return
 	}
 	if jobErr != nil {
@@ -290,14 +356,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// ingest parses one upload (raw .mtx/.tns body, or a JSON internal/gen
-// spec), registers it under its content address, and persists the tensor
-// artifact. Runs on an ingest worker.
-func (s *Server) ingest(r *http.Request) (ingestResponse, error) {
+// ingest parses one buffered upload (raw .mtx/.tns bytes, or a JSON
+// internal/gen spec), registers it under its content address, and
+// persists the tensor artifact. Runs on a pool worker and must not
+// touch the originating request.
+func (s *Server) ingest(asJSON bool, body []byte) (ingestResponse, error) {
 	var t *d2t2.Tensor
-	if isJSON(r) {
+	if asJSON {
 		var req ingestRequest
-		if err := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20)).Decode(&req); err != nil {
+		if err := json.Unmarshal(body, &req); err != nil {
 			return ingestResponse{}, fmt.Errorf("decode request: %w", err)
 		}
 		if req.Gen == nil {
@@ -310,7 +377,7 @@ func (s *Server) ingest(r *http.Request) (ingestResponse, error) {
 		}
 	} else {
 		var err error
-		t, err = d2t2.FromStream(http.MaxBytesReader(nil, r.Body, s.cfg.MaxUploadBytes))
+		t, err = d2t2.FromStream(bytes.NewReader(body))
 		if err != nil {
 			return ingestResponse{}, err
 		}
@@ -386,32 +453,49 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, err)
 		return
 	}
-	plan, err := s.session.Optimize(k, inputs, d2t2.Options{
-		BufferWords:  req.BufferWords,
-		Analytic:     req.Analytic,
-		DisableCorrs: req.DisableCorrs,
-		SkipResize:   req.SkipResize,
-	})
-	if err != nil {
-		s.writeError(w, http.StatusUnprocessableEntity, err)
-		return
-	}
-	resp := optimizeResponse{
-		Kernel:      req.Kernel,
-		Config:      plan.Config,
-		BaseTile:    plan.BaseTile,
-		RF:          plan.RF,
-		TileFactor:  plan.TileFactor,
-		PredictedMB: plan.PredictedMB,
-	}
-	if req.Measure {
-		report, err := plan.Measure()
+	// The cold pipeline runs on the bounded pool under the request
+	// context: queue wait counts against the deadline, and a deadline
+	// or disconnect mid-pipeline stops the compute at its next work-item
+	// boundary instead of running to completion for a client that left.
+	ctx := r.Context()
+	var resp optimizeResponse
+	var jobErr error
+	job := func() {
+		plan, err := s.session.OptimizeCtx(ctx, k, inputs, d2t2.Options{
+			BufferWords:  req.BufferWords,
+			Analytic:     req.Analytic,
+			DisableCorrs: req.DisableCorrs,
+			SkipResize:   req.SkipResize,
+		})
 		if err != nil {
-			s.writeError(w, http.StatusUnprocessableEntity, err)
+			jobErr = err
 			return
 		}
-		mb := report.TotalMB()
-		resp.MeasuredMB = &mb
+		resp = optimizeResponse{
+			Kernel:      req.Kernel,
+			Config:      plan.Config,
+			BaseTile:    plan.BaseTile,
+			RF:          plan.RF,
+			TileFactor:  plan.TileFactor,
+			PredictedMB: plan.PredictedMB,
+		}
+		if req.Measure {
+			report, err := plan.MeasureCtx(ctx)
+			if err != nil {
+				jobErr = err
+				return
+			}
+			mb := report.TotalMB()
+			resp.MeasuredMB = &mb
+		}
+	}
+	if err := s.runCompute(ctx, job); err != nil {
+		s.writeComputeError(w, err, http.StatusInternalServerError)
+		return
+	}
+	if jobErr != nil {
+		s.writeComputeError(w, jobErr, http.StatusUnprocessableEntity)
+		return
 	}
 	s.writeCachedResponse(w, key, resp)
 }
@@ -447,9 +531,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, err)
 		return
 	}
-	mb, err := s.session.Predict(k, inputs, d2t2.TileConfig(req.Config), req.StatsTile)
-	if err != nil {
-		s.writeError(w, http.StatusUnprocessableEntity, err)
+	ctx := r.Context()
+	var mb float64
+	var jobErr error
+	job := func() {
+		mb, jobErr = s.session.PredictCtx(ctx, k, inputs, d2t2.TileConfig(req.Config), req.StatsTile)
+	}
+	if err := s.runCompute(ctx, job); err != nil {
+		s.writeComputeError(w, err, http.StatusInternalServerError)
+		return
+	}
+	if jobErr != nil {
+		s.writeComputeError(w, jobErr, http.StatusUnprocessableEntity)
 		return
 	}
 	s.writeCachedResponse(w, key, predictResponse{PredictedMB: mb})
@@ -472,9 +565,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, err)
 		return
 	}
-	sum, err := s.session.Stats(t, tile)
-	if err != nil {
-		s.writeError(w, http.StatusUnprocessableEntity, err)
+	ctx := r.Context()
+	var sum *d2t2.StatsSummary
+	var jobErr error
+	job := func() { sum, jobErr = s.session.StatsCtx(ctx, t, tile) }
+	if err := s.runCompute(ctx, job); err != nil {
+		s.writeComputeError(w, err, http.StatusInternalServerError)
+		return
+	}
+	if jobErr != nil {
+		s.writeComputeError(w, jobErr, http.StatusUnprocessableEntity)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, statsResponse{
@@ -571,8 +671,59 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(body)
 }
 
+// statusClientClosedRequest is nginx's conventional status for "the
+// client went away before the response was ready". No RFC status fits,
+// and the client will never read it — it exists for logs and counters.
+const statusClientClosedRequest = 499
+
+// runCompute submits a CPU-bound job to the bounded pool and accounts
+// the two abandonment modes the pool distinguishes: expired while still
+// queued (the job never ran) vs. expired after a worker took it (the
+// worker winds the job down on its own ctx check; its outputs must not
+// be read).
+func (s *Server) runCompute(ctx context.Context, job func()) error {
+	started, err := s.pool.run(ctx, job)
+	if err != nil && !errors.Is(err, ErrShuttingDown) {
+		if started {
+			s.metrics.add("pool_abandoned_running", 1)
+		} else {
+			s.metrics.add("pool_abandoned_queued", 1)
+		}
+	}
+	return err
+}
+
+// writeComputeError maps a compute-path failure to a response. Context
+// errors get dedicated accounting: a deadline expiry is the server's
+// fault (504, counted in http_errors and requests_timeout), while a
+// client disconnect is nobody's error — it increments only
+// requests_cancelled and reports 499 without touching http_errors, so
+// error dashboards are not polluted by clients hanging up. Pool
+// shutdown maps to 503 (load-shed, retry elsewhere); anything else
+// falls through to the given status.
+func (s *Server) writeComputeError(w http.ResponseWriter, err error, fallback int) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.metrics.add("requests_cancelled", 1)
+		s.writeErrorStatus(w, statusClientClosedRequest, err, false)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.add("requests_timeout", 1)
+		s.writeErrorStatus(w, http.StatusGatewayTimeout, err, true)
+	case errors.Is(err, ErrShuttingDown):
+		s.writeErrorStatus(w, http.StatusServiceUnavailable, err, true)
+	default:
+		s.writeErrorStatus(w, fallback, err, true)
+	}
+}
+
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
-	s.metrics.add("http_errors", 1)
+	s.writeErrorStatus(w, status, err, true)
+}
+
+func (s *Server) writeErrorStatus(w http.ResponseWriter, status int, err error, countErr bool) {
+	if countErr {
+		s.metrics.add("http_errors", 1)
+	}
 	body, merr := json.Marshal(map[string]string{"error": err.Error()})
 	if merr != nil {
 		http.Error(w, err.Error(), status)
@@ -637,16 +788,21 @@ func (s *Server) tensorByID(id string) (*d2t2.Tensor, error) {
 	return t, nil
 }
 
-func isJSON(r *http.Request) bool {
-	ct := r.Header.Get("Content-Type")
-	return ct == "application/json" || (len(ct) > 16 && ct[:16] == "application/json")
-}
-
-func poolStatus(err error) int {
-	if err == ErrShuttingDown {
-		return http.StatusServiceUnavailable
+// isJSONContentType reports whether a Content-Type header names a JSON
+// body, using real media-type parsing so parameterized ("application/json;
+// charset=utf-8"), oddly-cased ("Application/JSON") and structured-suffix
+// ("application/problem+json") variants all classify correctly. A missing
+// or malformed header is not JSON — the ingest path then treats the body
+// as the binary stream format.
+func isJSONContentType(ct string) bool {
+	if ct == "" {
+		return false
 	}
-	return http.StatusGatewayTimeout
+	mediaType, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return false
+	}
+	return mediaType == "application/json" || strings.HasSuffix(mediaType, "+json")
 }
 
 func maxOrder(orders map[string]int) int {

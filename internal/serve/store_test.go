@@ -102,8 +102,9 @@ func TestPoolShutdown(t *testing.T) {
 	p := newPool(2)
 	ran := make(chan struct{}, 4)
 	for i := 0; i < 4; i++ {
-		if err := p.run(context.Background(), func() { ran <- struct{}{} }); err != nil {
-			t.Fatalf("run: %v", err)
+		started, err := p.run(context.Background(), func() { ran <- struct{}{} })
+		if err != nil || !started {
+			t.Fatalf("run: started=%v err=%v", started, err)
 		}
 	}
 	if len(ran) != 4 {
@@ -111,7 +112,7 @@ func TestPoolShutdown(t *testing.T) {
 	}
 	p.shutdown()
 	p.shutdown() // idempotent
-	if err := p.run(context.Background(), func() {}); err != ErrShuttingDown {
-		t.Fatalf("run after shutdown: %v, want ErrShuttingDown", err)
+	if started, err := p.run(context.Background(), func() {}); err != ErrShuttingDown || started {
+		t.Fatalf("run after shutdown: started=%v err=%v, want ErrShuttingDown", started, err)
 	}
 }

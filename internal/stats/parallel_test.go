@@ -1,12 +1,41 @@
 package stats
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
 
 	"d2t2/internal/gen"
 )
+
+// TestCollectCtxCancellation checks that a dead context aborts
+// collection before any reduction runs and that a live context is
+// observationally identical to plain Collect.
+func TestCollectCtxCancellation(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	m := gen.PowerLawGraph(r, 256, 4000, 1.5)
+	opts := func() *Options { return &Options{MicroDiv: 4, Workers: 4} }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if s, tt, err := CollectCtx(ctx, m, []int{32, 32}, []int{1, 0}, opts()); s != nil || tt != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want (nil, nil, context.Canceled), got (%v, %v, %v)", s, tt, err)
+	}
+
+	plain, _, err := Collect(m, []int{32, 32}, []int{1, 0}, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, _, err := CollectCtx(context.Background(), m, []int{32, 32}, []int{1, 0}, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, ctxed) {
+		t.Fatal("CollectCtx(Background) differs from Collect")
+	}
+}
 
 // TestCollectWorkersDeterministic checks that every collected statistic
 // — including the micro summary and the portable encoding tables — is

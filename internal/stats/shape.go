@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -28,7 +29,7 @@ type microSummary struct {
 	fpScale float64
 }
 
-func buildMicroSummary(t *tensor.COO, tt *tiling.TiledTensor, microDiv, workers int) (*microSummary, error) {
+func buildMicroSummary(ctx context.Context, t *tensor.COO, tt *tiling.TiledTensor, microDiv, workers int) (*microSummary, error) {
 	if microDiv < 1 {
 		microDiv = 1
 	}
@@ -45,7 +46,7 @@ func buildMicroSummary(t *tensor.COO, tt *tiling.TiledTensor, microDiv, workers 
 	mt := tt
 	if microDiv != 1 {
 		var err error
-		mt, err = tiling.NewParallel(t, md, tt.Order, workers)
+		mt, err = tiling.NewCtx(ctx, t, md, tt.Order, workers)
 		if err != nil {
 			return nil, err
 		}

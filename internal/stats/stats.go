@@ -18,6 +18,7 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 
 	"d2t2/internal/par"
@@ -153,12 +154,20 @@ func (s *Stats) LevelOfAxis(axis int) int {
 // the initial tiling for downstream reuse. This mirrors the toolchain of
 // Figure 1: conservative tiling → statistics collection.
 func Collect(t *tensor.COO, baseTileDims []int, order []int, opts *Options) (*Stats, *tiling.TiledTensor, error) {
+	return CollectCtx(context.Background(), t, baseTileDims, order, opts)
+}
+
+// CollectCtx is Collect with cooperative cancellation: the tiling pass
+// and every partitioned collection pass stop claiming work once ctx is
+// cancelled, and the context's error is returned. A never-cancelled ctx
+// yields exactly Collect's byte-identical statistics.
+func CollectCtx(ctx context.Context, t *tensor.COO, baseTileDims []int, order []int, opts *Options) (*Stats, *tiling.TiledTensor, error) {
 	o := opts.withDefaults()
-	tt, err := tiling.NewParallel(t, baseTileDims, order, o.Workers)
+	tt, err := tiling.NewCtx(ctx, t, baseTileDims, order, o.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
-	s, err := CollectFromTiled(t, tt, &o)
+	s, err := CollectFromTiledCtx(ctx, t, tt, &o)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -169,6 +178,12 @@ func Collect(t *tensor.COO, baseTileDims []int, order []int, opts *Options) (*St
 // tiling of t. The raw tensor is needed for the micro-tile summary and
 // the element-granularity Corrs.
 func CollectFromTiled(t *tensor.COO, tt *tiling.TiledTensor, opts *Options) (*Stats, error) {
+	return CollectFromTiledCtx(context.Background(), t, tt, opts)
+}
+
+// CollectFromTiledCtx is CollectFromTiled with cooperative cancellation
+// (see CollectCtx).
+func CollectFromTiledCtx(ctx context.Context, t *tensor.COO, tt *tiling.TiledTensor, opts *Options) (*Stats, error) {
 	o := opts.withDefaults()
 	n := len(tt.Dims)
 	s := &Stats{
@@ -216,7 +231,7 @@ func CollectFromTiled(t *tensor.COO, tt *tiling.TiledTensor, opts *Options) (*St
 		occ    [][]bool
 	}
 	aggs := make([]tileAgg, len(tileChunks))
-	_ = par.ForEach(o.Workers, len(tileChunks), func(c int) error {
+	if err := par.ForEachCtx(ctx, o.Workers, len(tileChunks), func(c int) error {
 		a := tileAgg{fibers: make([]int, n), occ: make([][]bool, n)}
 		for ax := 0; ax < n; ax++ {
 			a.occ[ax] = make([]bool, tt.OuterDims[ax])
@@ -231,7 +246,9 @@ func CollectFromTiled(t *tensor.COO, tt *tiling.TiledTensor, opts *Options) (*St
 		}
 		aggs[c] = a
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 	fiberTotals := make([]int, n)
 	s.occupancy = make([][]bool, n)
 	for ax := 0; ax < n; ax++ {
@@ -277,7 +294,7 @@ func CollectFromTiled(t *tensor.COO, tt *tiling.TiledTensor, opts *Options) (*St
 			sketches []*bottomK
 		}
 		eaggs := make([]entryAgg, len(entryChunks))
-		_ = par.ForEach(o.Workers, len(entryChunks), func(c int) error {
+		if err := par.ForEachCtx(ctx, o.Workers, len(entryChunks), func(c int) error {
 			ea := entryAgg{counts: make([][]int32, n), sketches: make([]*bottomK, n)}
 			for a := 0; a < n; a++ {
 				ea.counts[a] = make([]int32, t.Dims[a])
@@ -300,7 +317,9 @@ func CollectFromTiled(t *tensor.COO, tt *tiling.TiledTensor, opts *Options) (*St
 			}
 			eaggs[c] = ea
 			return nil
-		})
+		}); err != nil {
+			return nil, err
+		}
 		s.ElemCounts = make([][]int32, n)
 		sketches := make([]*bottomK, n)
 		for a := 0; a < n; a++ {
@@ -323,10 +342,12 @@ func CollectFromTiled(t *tensor.COO, tt *tiling.TiledTensor, opts *Options) (*St
 
 	// TileCorrs per axis (occupancy was reduced above; read-only here).
 	s.TileCorrs = make([][]float64, n)
-	_ = par.ForEach(o.Workers, n, func(a int) error {
+	if err := par.ForEachCtx(ctx, o.Workers, n, func(a int) error {
 		s.TileCorrs[a] = tileCorrs(s.occupancy[a], o.TileCorrMaxShift)
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	// Element-granularity Corrs along the requested axes, one worker per
 	// axis (each axis reads the raw tensor independently and the result
@@ -343,7 +364,7 @@ func CollectFromTiled(t *tensor.COO, tt *tiling.TiledTensor, opts *Options) (*St
 			return nil, fmt.Errorf("stats: corr axis %d out of range", ax)
 		}
 	}
-	corrs, err := par.Map(o.Workers, len(axes), func(i int) ([]float64, error) {
+	corrs, err := par.MapCtx(ctx, o.Workers, len(axes), func(i int) ([]float64, error) {
 		ax := axes[i]
 		maxShift := o.CorrMaxShift
 		if maxShift == 0 {
@@ -359,7 +380,7 @@ func CollectFromTiled(t *tensor.COO, tt *tiling.TiledTensor, opts *Options) (*St
 	}
 
 	// Micro-tile occupancy summary for exact shape re-evaluation.
-	micro, err := buildMicroSummary(t, tt, o.MicroDiv, o.Workers)
+	micro, err := buildMicroSummary(ctx, t, tt, o.MicroDiv, o.Workers)
 	if err != nil {
 		return nil, err
 	}

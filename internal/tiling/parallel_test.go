@@ -1,12 +1,40 @@
 package tiling
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
 
 	"d2t2/internal/gen"
 )
+
+// TestNewCtxCancellation checks both halves of the context contract: a
+// dead context aborts group-by tiling with the context's error, and a
+// live context yields exactly the NewParallel result.
+func TestNewCtxCancellation(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	m := gen.PowerLawGraph(r, 256, 4000, 1.5)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if tt, err := NewCtx(ctx, m, []int{16, 16}, []int{1, 0}, 4); tt != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want (nil, context.Canceled), got (%v, %v)", tt, err)
+	}
+
+	plain, err := NewParallel(m, []int{16, 16}, []int{1, 0}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := NewCtx(context.Background(), m, []int{16, 16}, []int{1, 0}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, ctxed) {
+		t.Fatal("NewCtx(Background) differs from NewParallel")
+	}
+}
 
 // TestNewParallelMatchesSerial checks the tentpole invariant: the tiled
 // tensor is identical — tiles, CSFs, footprints, outer CSF — at every

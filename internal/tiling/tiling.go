@@ -8,6 +8,7 @@
 package tiling
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -146,6 +147,15 @@ func New(t *tensor.COO, tileDims []int, order []int) (*TiledTensor, error) {
 // in a deterministic keyed order, so the result is byte-identical for
 // every worker count.
 func NewParallel(t *tensor.COO, tileDims []int, order []int, workers int) (*TiledTensor, error) {
+	return NewCtx(context.Background(), t, tileDims, order, workers)
+}
+
+// NewCtx is NewParallel with cooperative cancellation: the parallel
+// passes stop claiming work at the next item boundary once ctx is
+// cancelled, the serial passes check ctx between phases, and the
+// context's error is returned. A never-cancelled ctx yields exactly
+// NewParallel's byte-identical result.
+func NewCtx(ctx context.Context, t *tensor.COO, tileDims []int, order []int, workers int) (*TiledTensor, error) {
 	n := t.Order()
 	if len(tileDims) != n {
 		return nil, fmt.Errorf("tiling: %d tile dims for order-%d tensor", len(tileDims), n)
@@ -199,7 +209,7 @@ func NewParallel(t *tensor.COO, tileDims []int, order []int, workers int) (*Tile
 	}
 	gkeys := make([]uint64, nnz)
 	chunks := par.Chunks(workers, nnz)
-	_ = par.ForEach(workers, len(chunks), func(c int) error {
+	if err := par.ForEachCtx(ctx, workers, len(chunks), func(c int) error {
 		for p := chunks[c][0]; p < chunks[c][1]; p++ {
 			var k uint64
 			for l, ax := range order {
@@ -211,7 +221,9 @@ func NewParallel(t *tensor.COO, tileDims []int, order []int, workers int) (*Tile
 			gkeys[p] = k
 		}
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	// Pass 2 (serial): discover groups in first-appearance order and
 	// count entries per group.
@@ -230,6 +242,10 @@ func NewParallel(t *tensor.COO, tileDims []int, order []int, workers int) (*Tile
 		}
 		gidPer[p] = g
 		counts[g]++
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Pass 3 (serial): counting-sort entry indices into per-group
@@ -256,7 +272,7 @@ func NewParallel(t *tensor.COO, tileDims []int, order []int, workers int) (*Tile
 	// duplicate-free) and build its inner CSF. Workers write disjoint
 	// slots of the per-group slice; no shared state.
 	tiles := make([]*Tile, len(groupKeys))
-	err := par.ForEach(workers, len(groupKeys), func(g int) error {
+	err := par.ForEachCtx(ctx, workers, len(groupKeys), func(g int) error {
 		seg := entOf[starts[g]:starts[g+1]]
 		sort.Slice(seg, func(x, y int) bool {
 			p, q := seg[x], seg[y]

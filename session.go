@@ -1,6 +1,7 @@
 package d2t2
 
 import (
+	"context"
 	"sync"
 
 	"d2t2/internal/optimizer"
@@ -83,8 +84,10 @@ func (s *Session) TensorID(t *Tensor) (string, error) {
 
 // statsFor returns the statistics for t at the given base tiling and
 // level order, consulting the session memo or external cache before
-// collecting.
-func (s *Session) statsFor(t *Tensor, tileDims, order []int) (*stats.Stats, error) {
+// collecting. A cancelled ctx aborts the collection (the context's
+// error is returned) without storing anything — the memo and cache only
+// ever hold completed collections.
+func (s *Session) statsFor(ctx context.Context, t *Tensor, tileDims, order []int) (*stats.Stats, error) {
 	id, err := s.TensorID(t)
 	if err != nil {
 		return nil, err
@@ -102,7 +105,7 @@ func (s *Session) statsFor(t *Tensor, tileDims, order []int) (*stats.Stats, erro
 			return st, nil
 		}
 	}
-	st, tt, err := stats.Collect(t.coo, tileDims, order,
+	st, tt, err := stats.CollectCtx(ctx, t.coo, tileDims, order,
 		&stats.Options{MicroDiv: sessionMicroDiv, Workers: s.Workers})
 	if err != nil {
 		return nil, err
@@ -123,6 +126,16 @@ func (s *Session) statsFor(t *Tensor, tileDims, order []int) (*stats.Stats, erro
 // level order) across every call sharing the session — warm calls go
 // straight to the shape/size search.
 func (s *Session) Optimize(k *Kernel, inputs Inputs, opts Options) (*Plan, error) {
+	return s.OptimizeCtx(context.Background(), k, inputs, opts)
+}
+
+// OptimizeCtx is Optimize with cooperative cancellation: a cancelled or
+// deadline-expired ctx stops the tile-and-collect phase, the shape
+// sweep and the size growth at their next work-item boundary and
+// returns the context's error. The d2t2d service routes request
+// contexts through here so an abandoned request stops claiming CPU. A
+// never-cancelled ctx yields exactly Optimize's byte-identical plan.
+func (s *Session) OptimizeCtx(ctx context.Context, k *Kernel, inputs Inputs, opts Options) (*Plan, error) {
 	o := opts.lower()
 	if o.Workers == 0 {
 		o.Workers = s.Workers
@@ -144,14 +157,14 @@ func (s *Session) Optimize(k *Kernel, inputs Inputs, opts Options) (*Plan, error
 		for a := range dims {
 			dims[a] = base
 		}
-		st, err := s.statsFor(t, dims, k.expr.LevelOrder(ref))
+		st, err := s.statsFor(ctx, t, dims, k.expr.LevelOrder(ref))
 		if err != nil {
 			return nil, err
 		}
 		pre[ref.Name] = st
 	}
 	o.Precollected = pre
-	res, err := optimizer.Optimize(k.expr, inputs.lower(), o)
+	res, err := optimizer.OptimizeCtx(ctx, k.expr, inputs.lower(), o)
 	if err != nil {
 		return nil, err
 	}
@@ -163,6 +176,12 @@ func (s *Session) Optimize(k *Kernel, inputs Inputs, opts Options) (*Plan, error
 // sourced through the session. Statistics are collected at a
 // conservative square tiling of dimension statsTile.
 func (s *Session) Predict(k *Kernel, inputs Inputs, cfg TileConfig, statsTile int) (float64, error) {
+	return s.PredictCtx(context.Background(), k, inputs, cfg, statsTile)
+}
+
+// PredictCtx is Predict with cooperative cancellation of the underlying
+// statistics collection (see OptimizeCtx).
+func (s *Session) PredictCtx(ctx context.Context, k *Kernel, inputs Inputs, cfg TileConfig, statsTile int) (float64, error) {
 	st := make(map[string]*stats.Stats)
 	for _, ref := range k.expr.Inputs() {
 		if _, done := st[ref.Name]; done {
@@ -173,7 +192,7 @@ func (s *Session) Predict(k *Kernel, inputs Inputs, cfg TileConfig, statsTile in
 			return 0, errMissing(ref.Name)
 		}
 		dims := clampedSquare(t, statsTile, len(ref.Indices))
-		one, err := s.statsFor(t, dims, k.expr.LevelOrder(ref))
+		one, err := s.statsFor(ctx, t, dims, k.expr.LevelOrder(ref))
 		if err != nil {
 			return 0, err
 		}
@@ -186,12 +205,18 @@ func (s *Session) Predict(k *Kernel, inputs Inputs, cfg TileConfig, statsTile in
 // conservative square tiling (natural level order), cached in the
 // session like every other collection.
 func (s *Session) Stats(t *Tensor, tile int) (*StatsSummary, error) {
+	return s.StatsCtx(context.Background(), t, tile)
+}
+
+// StatsCtx is Stats with cooperative cancellation of the underlying
+// collection (see OptimizeCtx).
+func (s *Session) StatsCtx(ctx context.Context, t *Tensor, tile int) (*StatsSummary, error) {
 	dims := clampedSquare(t, tile, t.Order())
 	order := make([]int, t.Order())
 	for a := range order {
 		order[a] = a
 	}
-	st, err := s.statsFor(t, dims, order)
+	st, err := s.statsFor(ctx, t, dims, order)
 	if err != nil {
 		return nil, err
 	}
