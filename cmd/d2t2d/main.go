@@ -17,15 +17,22 @@
 //	GET  /healthz                 liveness + version
 //	GET  /debug/vars              expvar counters
 //
+// With -debug-addr a second, loopback-only listener additionally serves
+// net/http/pprof profiles and the full expvar surface; it is off by
+// default and never mounts on the service address.
+//
 // The daemon drains gracefully on SIGINT/SIGTERM: in-flight requests
 // finish (bounded by -drain-timeout), then ingest workers are joined.
 package main
 
 import (
 	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +61,7 @@ func run(args []string) error {
 	writeTimeout := fs.Duration("write-timeout", 0, "time allowed to write a whole response (0 = request-timeout + 30s)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "keep-alive idle connection bound (0 = default 2m)")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain bound")
+	debugAddr := fs.String("debug-addr", "", "debug listen address for net/http/pprof + expvar (empty = disabled; bind loopback, e.g. 127.0.0.1:8422)")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +88,40 @@ func run(args []string) error {
 	// published globally for the stdlib expvar handler ecosystem.
 	expvar.Publish("d2t2d", srv.Vars())
 
+	// The profiling surface is a SEPARATE listener, off by default:
+	// pprof exposes heap contents and CPU control, so it never mounts on
+	// the service address where it would face whatever faces the API.
+	var dbg *http.Server
+	dbgErr := make(chan error, 1)
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/vars", expvar.Handler())
+		dbg = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		// The channel send is the goroutine's join signal: shutdown
+		// closes the listener and then receives the exit error below.
+		go func() { dbgErr <- dbg.ListenAndServe() }()
+		fmt.Fprintf(os.Stderr, "d2t2d: debug (pprof+expvar) on %s\n", *debugAddr)
+	}
+	stopDebug := func(ctx context.Context) error {
+		if dbg == nil {
+			return nil
+		}
+		err := dbg.Shutdown(ctx)
+		if lerr := <-dbgErr; !errors.Is(lerr, http.ErrServerClosed) && err == nil {
+			err = lerr
+		}
+		return err
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
 
@@ -89,13 +131,20 @@ func run(args []string) error {
 	fmt.Fprintf(os.Stderr, "d2t2d %s listening on %s (cache %q)\n", buildinfo.Version, *addr, *cacheDir)
 	select {
 	case err := <-errc:
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		_ = stopDebug(ctx)
 		return err
 	case s := <-sig:
 		fmt.Fprintf(os.Stderr, "d2t2d: %v, draining\n", s)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
+			_ = stopDebug(ctx)
 			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := stopDebug(ctx); err != nil {
+			return fmt.Errorf("debug shutdown: %w", err)
 		}
 		return <-errc
 	}

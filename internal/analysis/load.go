@@ -1,14 +1,18 @@
 package analysis
 
 import (
+	"bufio"
+	"bytes"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -174,6 +178,37 @@ func (l *Loader) hasGoFiles(dir string) bool {
 	return false
 }
 
+// buildConstraintSatisfied evaluates a file's //go:build line (if any)
+// against the default build configuration the suite analyzes: current
+// GOOS/GOARCH, the gc toolchain, any supported go1.N version, and NO
+// optional tags. A `//go:build !race` file is analyzed; its `race`
+// twin is skipped — without this, tag-paired files (internal/raceflag)
+// would redeclare their symbols in one type-check. Legacy `// +build`
+// lines without a //go:build line are rare enough in a gofmt'd module
+// to ignore.
+func buildConstraintSatisfied(src []byte) bool {
+	sc := bufio.NewScanner(bytes.NewReader(src))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if constraint.IsGoBuild(line) {
+			expr, err := constraint.Parse(line)
+			if err != nil {
+				return true // malformed: let the parser complain
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH ||
+					tag == "gc" || tag == "unix" || strings.HasPrefix(tag, "go1.")
+			})
+		}
+		// The constraint block ends at the first non-comment, non-blank
+		// line (the package clause at the latest).
+		if line != "" && !strings.HasPrefix(line, "//") {
+			return true
+		}
+	}
+	return true
+}
+
 // Load type-checks the package at the given module import path.
 func (l *Loader) Load(path string) (*Package, error) {
 	if p, ok := l.cache[path]; ok {
@@ -207,7 +242,14 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 		if strings.HasSuffix(n, "_test.go") && !l.IncludeTests {
 			continue
 		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		src, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		if !buildConstraintSatisfied(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestBuildConstraintSatisfied pins the loader's //go:build evaluation:
+// the suite analyzes the default build configuration (no optional tags),
+// so a `race` file is skipped, its `!race` twin kept, and files without
+// constraints are always kept. Without this, tag-paired files like
+// internal/raceflag's redeclare their symbols in one type-check.
+func TestBuildConstraintSatisfied(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"no constraint", "package p\n", true},
+		{"race", "//go:build race\n\npackage p\n", false},
+		{"not race", "//go:build !race\n\npackage p\n", true},
+		{"doc comment then package", "// Package p does things.\npackage p\n", true},
+		{"constraint after blank", "\n//go:build race\n\npackage p\n", false},
+		{"or with satisfied os", "//go:build race || " + runtime.GOOS + "\n\npackage p\n", true},
+		{"and with tag", "//go:build " + runtime.GOOS + " && race\n\npackage p\n", false},
+		{"go version tag", "//go:build go1.22\n\npackage p\n", true},
+		{"past package clause is not a constraint", "package p\n\n// comment mentioning //go:build race\n", true},
+		{"malformed falls through to the parser", "//go:build &&&\n\npackage p\n", true},
+	}
+	for _, tc := range cases {
+		if got := buildConstraintSatisfied([]byte(tc.src)); got != tc.want {
+			t.Errorf("%s: buildConstraintSatisfied = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestLoadTagPairedPackage loads internal/raceflag for real: before the
+// loader honored build constraints this failed type-checking with
+// "Enabled redeclared".
+func TestLoadTagPairedPackage(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.Load("d2t2/internal/raceflag")
+	if err != nil {
+		t.Fatalf("loading a tag-paired package: %v", err)
+	}
+	obj := p.Types.Scope().Lookup("Enabled")
+	if obj == nil {
+		t.Fatal("raceflag.Enabled not found")
+	}
+}

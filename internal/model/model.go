@@ -25,7 +25,9 @@ package model
 import (
 	"fmt"
 	"math"
+	"sync"
 
+	"d2t2/internal/checked"
 	"d2t2/internal/einsum"
 	"d2t2/internal/stats"
 )
@@ -62,6 +64,86 @@ type Predictor struct {
 	// computation of refine.go, leaving the paper's pure mean-field model
 	// even in ModeExact.
 	DisableRefinement bool
+
+	// Shape-evaluation memo: EvalShape is a full pass over the micro-tile
+	// summary and the optimizer's sweep re-derives the same snapped shape
+	// for many candidates (several RFs snap to the same config, and the
+	// fits-check plus Predict both need the shape). The memo is keyed by
+	// (occurrence name, snapped dims) and lives for the predictor's
+	// lifetime; EvalShape is deterministic and ShapeStats is read-only
+	// after construction, so sharing one result across candidates and
+	// goroutines is safe. Orders beyond maxMemoOrder bypass the memo.
+	shapeMu   sync.Mutex
+	shapeMemo map[shapeMemoKey]*stats.ShapeStats
+}
+
+// maxMemoOrder bounds the fixed-size dims array used as a comparable memo
+// key; higher-order tensors (none exist in the 21-bit tile-key regime)
+// fall back to uncached evaluation.
+const maxMemoOrder = 8
+
+type shapeMemoKey struct {
+	name string
+	n    int
+	dims [maxMemoOrder]int32
+}
+
+// evalShapeMemo returns st.EvalShape(snapped) through the predictor's
+// memo. snapped is copied into the key, so callers may reuse the slice.
+func (p *Predictor) evalShapeMemo(name string, st *stats.Stats, snapped []int) (*stats.ShapeStats, error) {
+	if len(snapped) > maxMemoOrder {
+		return st.EvalShape(snapped)
+	}
+	key := shapeMemoKey{name: name, n: len(snapped)}
+	for a, v := range snapped {
+		key.dims[a] = checked.Int32(v)
+	}
+	p.shapeMu.Lock()
+	sh, ok := p.shapeMemo[key]
+	p.shapeMu.Unlock()
+	if ok {
+		return sh, nil
+	}
+	sh, err := st.EvalShape(snapped)
+	if err != nil {
+		return nil, err
+	}
+	p.shapeMu.Lock()
+	if p.shapeMemo == nil {
+		p.shapeMemo = make(map[shapeMemoKey]*stats.ShapeStats)
+	}
+	if prev, ok := p.shapeMemo[key]; ok {
+		// A concurrent evaluation won the race; both results are
+		// deterministic and identical — keep the first for stability.
+		sh = prev
+	} else {
+		p.shapeMemo[key] = sh
+	}
+	p.shapeMu.Unlock()
+	return sh, nil
+}
+
+// EvalRef evaluates the shape statistics of one input occurrence under
+// cfg: tile dims are read off the config in the ref's index order,
+// snapped to micro granularity, and evaluated through the predictor's
+// shape memo. This is the entry point the optimizer's fits-checks share
+// with Predict so each distinct (ref, snapped shape) is computed once per
+// predictor.
+func (p *Predictor) EvalRef(ref einsum.Ref, cfg Config) (*stats.ShapeStats, error) {
+	st := p.Stats[ref.Name]
+	if st == nil {
+		return nil, fmt.Errorf("model: missing stats for %q", ref.Name)
+	}
+	dims := make([]int, len(ref.Indices))
+	for a, ix := range ref.Indices {
+		td, ok := cfg[ix]
+		if !ok || td < 1 {
+			return nil, fmt.Errorf("model: config misses index %q", ix)
+		}
+		dims[a] = td
+	}
+	snapped := st.SnapToMicroInto(dims, dims)
+	return p.evalShapeMemo(ref.Name, st, snapped)
 }
 
 // New builds a predictor. Every input occurrence of e must have stats.
@@ -136,8 +218,8 @@ func (p *Predictor) view(ref einsum.Ref, cfg Config) (*tensorView, error) {
 	v.outerN = make([]int, len(tileDims))
 
 	if p.Mode == ModeExact {
-		snapped := st.SnapToMicro(tileDims)
-		sh, err := st.EvalShape(snapped)
+		snapped := st.SnapToMicroInto(tileDims, tileDims)
+		sh, err := p.evalShapeMemo(ref.Name, st, snapped)
 		if err != nil {
 			return nil, err
 		}
@@ -220,25 +302,37 @@ func (v *tensorView) pBound(boundVars map[string]bool) float64 {
 // SnapConfig rounds every index's tile size to the micro granularity the
 // statistics were collected at (and clamps to the dimension), matching
 // what Predict evaluates in ModeExact. Use it to tile data consistently
-// with a prediction.
+// with a prediction. The input config is left untouched; callers on the
+// sweep hot path that own their config should use SnapConfigInPlace.
 func (p *Predictor) SnapConfig(cfg Config) Config {
-	out := cfg.Clone()
+	return p.SnapConfigInPlace(cfg.Clone())
+}
+
+// SnapConfigInPlace is SnapConfig without the defensive copy: cfg itself
+// is MUTATED — every index's tile size is overwritten with its snapped
+// value — and returned for chaining. A small fixed-size buffer keeps the
+// per-call allocation at zero for tensors up to order maxMemoOrder.
+func (p *Predictor) SnapConfigInPlace(cfg Config) Config {
+	var buf [maxMemoOrder]int
 	for _, ref := range p.Expr.Inputs() {
 		st := p.Stats[ref.Name]
-		dims := make([]int, len(ref.Indices))
+		dims := buf[:0]
+		if len(ref.Indices) > maxMemoOrder {
+			dims = make([]int, 0, len(ref.Indices))
+		}
 		for a, ix := range ref.Indices {
-			td := out[ix]
+			td := cfg[ix]
 			if td > st.Dims[a] {
 				td = st.Dims[a]
 			}
-			dims[a] = td
+			dims = append(dims, td)
 		}
-		snapped := st.SnapToMicro(dims)
+		snapped := st.SnapToMicroInto(dims, dims)
 		for a, ix := range ref.Indices {
-			out[ix] = snapped[a]
+			cfg[ix] = snapped[a]
 		}
 	}
-	return out
+	return cfg
 }
 
 // Predict estimates traffic for one tile configuration.

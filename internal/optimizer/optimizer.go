@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"d2t2/internal/einsum"
 	"d2t2/internal/model"
@@ -221,16 +222,24 @@ func OptimizeCtx(ctx context.Context, e *einsum.Expr, inputs map[string]*tensor.
 	if o.CorrsOnly {
 		rfs = []float64{corrsOnlyRF(e, res.Stats, baseTile, o)}
 	}
-	// Candidates evaluate concurrently against the read-only predictor;
-	// survivors are appended serially in RF order and the first strict
-	// minimum wins, matching the serial sweep's choice exactly.
-	type swept struct {
-		cfg  model.Config
-		keep bool
-		p    *model.Prediction
+	// Several RFs snap to the same config, and each evaluation is a full
+	// shape pass per input plus a prediction — so configs are built and
+	// snapped serially (cheap), deduped on a canonical key, and only the
+	// unique survivors evaluate concurrently against the read-only
+	// predictor. The representative RF of a merged group reproduces the
+	// serial sweep's keep rules: a fitting config is kept under its first
+	// RF; a non-fitting config is kept only when one of its RFs is exactly
+	// the base shape's 1.
+	type uniqueCand struct {
+		cfg      model.Config
+		firstRF  float64
+		firstIdx int // position of firstRF in rfs
+		rf1Idx   int // position of the literal RF 1, or -1
 	}
-	sweeps, err := par.MapCtx(ctx, o.Workers, len(rfs), func(i int) (swept, error) {
-		rf := rfs[i]
+	var uniq []*uniqueCand
+	seenCfg := make(map[string]int, len(rfs))
+	var keyBuf []byte
+	for i, rf := range rfs {
 		cfg := make(model.Config, len(e.Order))
 		for _, ix := range e.Order {
 			cfg[ix] = baseTile
@@ -239,14 +248,40 @@ func OptimizeCtx(ctx context.Context, e *einsum.Expr, inputs map[string]*tensor.
 		for _, ix := range downIdxs {
 			cfg[ix] = scaleDim(baseTile, 1/rf)
 		}
-		cfg = pred.SnapConfig(cfg)
+		cfg = pred.SnapConfigInPlace(cfg)
+		keyBuf = keyBuf[:0]
+		for _, ix := range e.Order {
+			keyBuf = strconv.AppendInt(keyBuf, int64(cfg[ix]), 10)
+			keyBuf = append(keyBuf, ',')
+		}
+		//d2t2:ignore floatdeterminism rf ranges over the literal RFs slice; matching the literal 1 exactly is intended
+		isOne := rf == 1
+		if j, ok := seenCfg[string(keyBuf)]; ok {
+			if isOne && uniq[j].rf1Idx < 0 {
+				uniq[j].rf1Idx = i
+			}
+			continue
+		}
+		seenCfg[string(keyBuf)] = len(uniq)
+		uc := &uniqueCand{cfg: cfg, firstRF: rf, firstIdx: i, rf1Idx: -1}
+		if isOne {
+			uc.rf1Idx = i
+		}
+		uniq = append(uniq, uc)
+	}
+	type swept struct {
+		fits bool
+		p    *model.Prediction
+	}
+	sweeps, err := par.MapCtx(ctx, o.Workers, len(uniq), func(i int) (swept, error) {
+		uc := uniq[i]
 		// Area-preserving reshapes still change the CSF *metadata*
 		// footprint (tall tiles carry more fibers and segment bounds), so
 		// the fit guarantee must be re-checked per candidate against the
 		// conservative upper bound.
 		fitsShape := true
 		for _, ref := range e.Inputs() {
-			sh, err := evalRef(pred, res.Stats[ref.Name], ref, cfg)
+			sh, err := pred.EvalRef(ref, uc.cfg)
 			if err != nil {
 				return swept{}, err
 			}
@@ -255,25 +290,41 @@ func OptimizeCtx(ctx context.Context, e *einsum.Expr, inputs map[string]*tensor.
 				break
 			}
 		}
-		//d2t2:ignore floatdeterminism rf ranges over the literal RFs slice; matching the literal 1 exactly is intended
-		if !fitsShape && rf != 1 {
-			return swept{}, nil
+		if !fitsShape && uc.rf1Idx < 0 {
+			return swept{}, nil // dropped: no RF keeps a non-fitting config
 		}
-		p, err := pred.Predict(cfg)
+		p, err := pred.Predict(uc.cfg)
 		if err != nil {
 			return swept{}, err
 		}
-		return swept{cfg: cfg, keep: true, p: p}, nil
+		return swept{fits: fitsShape, p: p}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	// Survivors append in the order of the RF that kept them (the first
+	// RF for fitting configs, the literal 1 otherwise), so the
+	// first-strict-minimum pick is byte-identical to the pre-dedupe sweep.
+	type keptCand struct {
+		pos  int
+		cand Candidate
+	}
+	kept := make([]keptCand, 0, len(uniq))
 	for i, sw := range sweeps {
-		if !sw.keep {
+		if sw.p == nil {
 			continue
 		}
-		res.Candidates = append(res.Candidates, Candidate{RF: rfs[i], Config: sw.cfg, Predicted: sw.p})
-		if best < 0 || sw.p.Total() < res.Candidates[best].Predicted.Total() {
+		uc := uniq[i]
+		pos, rf := uc.firstIdx, uc.firstRF
+		if !sw.fits {
+			pos, rf = uc.rf1Idx, 1
+		}
+		kept = append(kept, keptCand{pos: pos, cand: Candidate{RF: rf, Config: uc.cfg, Predicted: sw.p}})
+	}
+	sort.Slice(kept, func(x, y int) bool { return kept[x].pos < kept[y].pos })
+	for _, kc := range kept {
+		res.Candidates = append(res.Candidates, kc.cand)
+		if best < 0 || kc.cand.Predicted.Total() < res.Candidates[best].Predicted.Total() {
 			best = len(res.Candidates) - 1
 		}
 	}
@@ -407,7 +458,7 @@ func (r *Result) grow(ctx context.Context, pred *model.Predictor, upIdx string, 
 	// Eq. 22: TileFactor = BufferSize / MaxTiles at the chosen shape.
 	maxTile := 0
 	for _, ref := range r.Expr.Inputs() {
-		sh, err := evalRef(pred, r.Stats[ref.Name], ref, r.Config)
+		sh, err := pred.EvalRef(ref, r.Config)
 		if err != nil {
 			return err
 		}
@@ -425,7 +476,7 @@ func (r *Result) grow(ctx context.Context, pred *model.Predictor, upIdx string, 
 
 	fits := func(cfg model.Config) (bool, error) {
 		for _, ref := range r.Expr.Inputs() {
-			sh, err := evalRef(pred, r.Stats[ref.Name], ref, cfg)
+			sh, err := pred.EvalRef(ref, cfg)
 			if err != nil {
 				return false, err
 			}
@@ -522,19 +573,6 @@ func (r *Result) snapIdx(ix string, v int) int {
 		}
 	}
 	return v
-}
-
-// evalRef evaluates a tensor's shape statistics under cfg (snapped).
-func evalRef(pred *model.Predictor, st *stats.Stats, ref einsum.Ref, cfg model.Config) (*stats.ShapeStats, error) {
-	dims := make([]int, len(ref.Indices))
-	for a, ix := range ref.Indices {
-		td, ok := cfg[ix]
-		if !ok {
-			return nil, fmt.Errorf("optimizer: config misses %q", ix)
-		}
-		dims[a] = td
-	}
-	return st.EvalShape(st.SnapToMicro(dims))
 }
 
 // TileAll tiles every input with the final configuration (the second

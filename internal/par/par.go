@@ -59,6 +59,41 @@ func ForEach(workers, n int, fn func(i int) error) error {
 // never-cancelled context the semantics — and the results written by fn
 // — are exactly ForEach's, byte-identical at any worker count.
 func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return forEachScratchCtx(ctx, workers, n, nopScratch, func(i int, _ struct{}) error {
+		return fn(i)
+	})
+}
+
+// nopScratch is the zero-cost scratch constructor the scratch-free entry
+// points reuse (one shared instantiation instead of a closure per call).
+func nopScratch() struct{} { return struct{}{} }
+
+// ForEachScratch is ForEach with per-worker scratch state: each worker
+// lazily creates one scratch value S via newScratch on its first claimed
+// item and hands the same value to every subsequent item it runs. The
+// scratch is worker-private — fn may mutate it freely without
+// synchronization — which lets hot loops reuse sized-once buffers
+// (reset with clear(), not reallocated) across items. Because the
+// item→worker schedule varies run to run, fn MUST NOT let per-item
+// results depend on scratch contents left by a previous item: scratch is
+// for capacity reuse, never for value reuse. Results written into
+// per-index state remain byte-identical at any worker count exactly as
+// with ForEach.
+func ForEachScratch[S any](workers, n int, newScratch func() S, fn func(i int, scratch S) error) error {
+	return forEachScratchCtx(context.Background(), workers, n, newScratch, fn)
+}
+
+// ForEachScratchCtx is ForEachScratch with cooperative cancellation
+// (see ForEachCtx for the cancellation contract).
+func ForEachScratchCtx[S any](ctx context.Context, workers, n int, newScratch func() S, fn func(i int, scratch S) error) error {
+	return forEachScratchCtx(ctx, workers, n, newScratch, fn)
+}
+
+// forEachScratchCtx is the shared fan-out core: ForEachCtx is the S =
+// struct{} instantiation, so the semantics documented there (lowest-index
+// error wins, panics captured per item, ctx checked before each claim)
+// hold for every variant by construction.
+func forEachScratchCtx[S any](ctx context.Context, workers, n int, newScratch func() S, fn func(i int, scratch S) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -70,11 +105,12 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 		// Inline fast path: identical semantics (first error by index,
 		// panics captured, ctx checked per item), none of the goroutine
 		// machinery.
+		scratch := newScratch()
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := runItem(i, fn); err != nil {
+			if err := runItem(i, scratch, fn); err != nil {
 				return err
 			}
 		}
@@ -88,6 +124,8 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var scratch S
+			made := false
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
@@ -100,7 +138,14 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 					errs[i] = err
 					return
 				}
-				errs[i] = runItem(i, fn)
+				if !made {
+					// Lazy: a worker that never claims an item never pays
+					// for its scratch (workers > items happens on small
+					// fan-outs).
+					scratch = newScratch()
+					made = true
+				}
+				errs[i] = runItem(i, scratch, fn)
 			}
 		}()
 	}
@@ -113,14 +158,14 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 	return nil
 }
 
-// runItem invokes fn(i), converting a panic into a *PanicError.
-func runItem(i int, fn func(int) error) (err error) {
+// runItem invokes fn(i, scratch), converting a panic into a *PanicError.
+func runItem[S any](i int, scratch S, fn func(int, S) error) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = &PanicError{Value: p}
 		}
 	}()
-	return fn(i)
+	return fn(i, scratch)
 }
 
 // Map runs fn over [0, n) like ForEach and returns the results in item
@@ -137,6 +182,33 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error
 	out := make([]T, n)
 	err := ForEachCtx(ctx, workers, n, func(i int) error {
 		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapScratch is Map with per-worker scratch state (see ForEachScratch
+// for the ownership contract: scratch is for capacity reuse, never for
+// value reuse). Results are returned in item order regardless of which
+// worker produced them.
+func MapScratch[T, S any](workers, n int, newScratch func() S, fn func(i int, scratch S) (T, error)) ([]T, error) {
+	return MapScratchCtx(context.Background(), workers, n, newScratch, fn)
+}
+
+// MapScratchCtx is MapScratch with cooperative cancellation (see
+// ForEachCtx): a cancelled context discards the partial results and
+// returns the context's error under the lowest-index-wins rule.
+func MapScratchCtx[T, S any](ctx context.Context, workers, n int, newScratch func() S, fn func(i int, scratch S) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := forEachScratchCtx(ctx, workers, n, newScratch, func(i int, scratch S) error {
+		v, err := fn(i, scratch)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,6 @@
+// Package raceflag reports at compile time whether the race detector is
+// enabled. Allocation-regression tests consult it: the race runtime
+// instruments allocations and synchronization, so testing.AllocsPerRun
+// ceilings calibrated for a normal build are meaningless under -race
+// and those tests skip themselves.
+package raceflag

@@ -89,6 +89,12 @@ func TestOptimizeDeadlineAbortsPipeline(t *testing.T) {
 	if got := sB.Metric("http_errors"); got != 1 {
 		t.Errorf("http_errors = %d, want 1 (a deadline expiry is an error)", got)
 	}
+	// The abandonment is accounted by the flight runner once the last
+	// participant departs — asynchronously to the 504 — so poll for it.
+	abandonBy := time.Now().Add(10 * time.Second)
+	for sB.Metric("pool_abandoned_queued")+sB.Metric("pool_abandoned_running") == 0 && time.Now().Before(abandonBy) {
+		time.Sleep(10 * time.Millisecond)
+	}
 	if q, r := sB.Metric("pool_abandoned_queued"), sB.Metric("pool_abandoned_running"); q+r != 1 {
 		t.Errorf("pool_abandoned_queued=%d pool_abandoned_running=%d, want exactly one abandonment", q, r)
 	}

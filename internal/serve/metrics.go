@@ -28,6 +28,10 @@ var counterNames = []string{
 	"requests_cancelled",
 	"pool_abandoned_queued",
 	"pool_abandoned_running",
+	"singleflight_leader",
+	"singleflight_shared",
+	"singleflight_detached",
+	"pool_coalesced",
 }
 
 // latencyBucketsMs are the upper bounds (inclusive, milliseconds) of the

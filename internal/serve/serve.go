@@ -108,6 +108,7 @@ type Server struct {
 	store   *Store
 	session *d2t2.Session
 	pool    *pool
+	flights *flightGroup
 	metrics *metrics
 	mux     *http.ServeMux
 
@@ -130,6 +131,7 @@ func New(cfg Config) (*Server, error) {
 		metrics: newMetrics(),
 		tensors: make(map[string]*d2t2.Tensor),
 	}
+	s.flights = newFlightGroup(s.metrics)
 	s.session = d2t2.NewSession(&storeCache{s: s})
 	s.session.Workers = cfg.Workers
 	mux := http.NewServeMux()
@@ -179,8 +181,11 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // Shutdown drains the service gracefully: the HTTP server (when started
 // via ListenAndServe) stops accepting and drains in-flight handlers
-// bounded by ctx, then the ingest pool stops and every worker is joined.
-// Requests that race past the drain are refused with 503.
+// bounded by ctx, then the ingest pool stops and every worker is
+// joined, then every coalescing flight runner is joined (after the pool
+// refuses work, a straggling flight terminates promptly with
+// ErrShuttingDown). Requests that race past the drain are refused with
+// 503.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	srv := s.httpSrv
@@ -190,6 +195,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = srv.Shutdown(ctx)
 	}
 	s.pool.shutdown()
+	s.flights.join()
 	return err
 }
 
@@ -453,51 +459,58 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, err)
 		return
 	}
-	// The cold pipeline runs on the bounded pool under the request
-	// context: queue wait counts against the deadline, and a deadline
-	// or disconnect mid-pipeline stops the compute at its next work-item
-	// boundary instead of running to completion for a client that left.
-	ctx := r.Context()
-	var resp optimizeResponse
-	var jobErr error
-	job := func() {
-		plan, err := s.session.OptimizeCtx(ctx, k, inputs, d2t2.Options{
-			BufferWords:  req.BufferWords,
-			Analytic:     req.Analytic,
-			DisableCorrs: req.DisableCorrs,
-			SkipResize:   req.SkipResize,
-		})
-		if err != nil {
-			jobErr = err
-			return
-		}
-		resp = optimizeResponse{
-			Kernel:      req.Kernel,
-			Config:      plan.Config,
-			BaseTile:    plan.BaseTile,
-			RF:          plan.RF,
-			TileFactor:  plan.TileFactor,
-			PredictedMB: plan.PredictedMB,
-		}
-		if req.Measure {
-			report, err := plan.MeasureCtx(ctx)
+	// The cold pipeline runs once per distinct request content: identical
+	// concurrent requests coalesce onto one flight and share the leader's
+	// bytes. The pipeline itself runs on the bounded pool under the
+	// FLIGHT context — cancelled only when every coalesced participant
+	// has left — so a deadline or disconnect still stops abandoned
+	// compute at its next work-item boundary, but one follower hanging
+	// up never kills the run for the rest.
+	body, coalesced, err := s.flights.do(r.Context(), key, func(fctx context.Context) ([]byte, error) {
+		var resp optimizeResponse
+		var jobErr error
+		job := func() {
+			plan, err := s.session.OptimizeCtx(fctx, k, inputs, d2t2.Options{
+				BufferWords:  req.BufferWords,
+				Analytic:     req.Analytic,
+				DisableCorrs: req.DisableCorrs,
+				SkipResize:   req.SkipResize,
+			})
 			if err != nil {
 				jobErr = err
 				return
 			}
-			mb := report.TotalMB()
-			resp.MeasuredMB = &mb
+			resp = optimizeResponse{
+				Kernel:      req.Kernel,
+				Config:      plan.Config,
+				BaseTile:    plan.BaseTile,
+				RF:          plan.RF,
+				TileFactor:  plan.TileFactor,
+				PredictedMB: plan.PredictedMB,
+			}
+			if req.Measure {
+				report, err := plan.MeasureCtx(fctx)
+				if err != nil {
+					jobErr = err
+					return
+				}
+				mb := report.TotalMB()
+				resp.MeasuredMB = &mb
+			}
 		}
-	}
-	if err := s.runCompute(ctx, job); err != nil {
-		s.writeComputeError(w, err, http.StatusInternalServerError)
+		if err := s.runCompute(fctx, job); err != nil {
+			return nil, err
+		}
+		if jobErr != nil {
+			return nil, &pipelineError{err: jobErr}
+		}
+		return s.marshalAndPersist(key, resp)
+	})
+	if err != nil {
+		s.writeFlightError(w, err)
 		return
 	}
-	if jobErr != nil {
-		s.writeComputeError(w, jobErr, http.StatusUnprocessableEntity)
-		return
-	}
-	s.writeCachedResponse(w, key, resp)
+	s.writeBody(w, cacheStatus(coalesced), body)
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -531,21 +544,25 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, err)
 		return
 	}
-	ctx := r.Context()
-	var mb float64
-	var jobErr error
-	job := func() {
-		mb, jobErr = s.session.PredictCtx(ctx, k, inputs, d2t2.TileConfig(req.Config), req.StatsTile)
-	}
-	if err := s.runCompute(ctx, job); err != nil {
-		s.writeComputeError(w, err, http.StatusInternalServerError)
+	body, coalesced, err := s.flights.do(r.Context(), key, func(fctx context.Context) ([]byte, error) {
+		var mb float64
+		var jobErr error
+		job := func() {
+			mb, jobErr = s.session.PredictCtx(fctx, k, inputs, d2t2.TileConfig(req.Config), req.StatsTile)
+		}
+		if err := s.runCompute(fctx, job); err != nil {
+			return nil, err
+		}
+		if jobErr != nil {
+			return nil, &pipelineError{err: jobErr}
+		}
+		return s.marshalAndPersist(key, predictResponse{PredictedMB: mb})
+	})
+	if err != nil {
+		s.writeFlightError(w, err)
 		return
 	}
-	if jobErr != nil {
-		s.writeComputeError(w, jobErr, http.StatusUnprocessableEntity)
-		return
-	}
-	s.writeCachedResponse(w, key, predictResponse{PredictedMB: mb})
+	s.writeBody(w, cacheStatus(coalesced), body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -633,26 +650,43 @@ func (s *Server) serveCachedResponse(w http.ResponseWriter, key, counter string)
 		return false
 	}
 	s.metrics.add(counter, 1)
-	w.Header().Set("X-D2T2-Cache", "hit")
-	w.Header().Set("Content-Type", "application/json")
-	s.metrics.add("bytes_served", int64(len(a.Response)))
-	w.Write(a.Response)
+	s.writeBody(w, "hit", a.Response)
 	return true
 }
 
-// writeCachedResponse marshals resp once, persists it as a RESP artifact
-// under key, and serves those exact bytes with X-D2T2-Cache: miss.
-func (s *Server) writeCachedResponse(w http.ResponseWriter, key string, resp any) {
+// marshalAndPersist marshals resp once, persists it as a RESP artifact
+// under key, and returns the exact bytes every coalesced participant is
+// served. Runs inside the flight (before the flight detaches from its
+// key), so a request arriving after the flight lands always finds the
+// artifact — there is no window where it would re-run the pipeline.
+func (s *Server) marshalAndPersist(key string, resp any) ([]byte, error) {
 	body, err := json.Marshal(resp)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
-		return
+		return nil, err
 	}
 	body = append(body, '\n')
 	if b, err := snapshot.EncodeBytes(&snapshot.Artifact{Response: body}); err == nil {
+		// Best effort: a failed persist only costs a future re-run.
 		_ = s.store.Put(key, b)
 	}
-	w.Header().Set("X-D2T2-Cache", "miss")
+	return body, nil
+}
+
+// cacheStatus names how a coalesced response was produced for the
+// X-D2T2-Cache header: the flight leader reports "miss" (it ran the
+// pipeline), followers report "coalesced" (they shared the leader's
+// run). Warm requests report "hit" via serveCachedResponse.
+func cacheStatus(coalesced bool) string {
+	if coalesced {
+		return "coalesced"
+	}
+	return "miss"
+}
+
+// writeBody serves one JSON body with its cache-status header; every
+// cache state serves byte-identical bodies, only the header differs.
+func (s *Server) writeBody(w http.ResponseWriter, status string, body []byte) {
+	w.Header().Set("X-D2T2-Cache", status)
 	w.Header().Set("Content-Type", "application/json")
 	s.metrics.add("bytes_served", int64(len(body)))
 	w.Write(body)
@@ -691,6 +725,28 @@ func (s *Server) runCompute(ctx context.Context, job func()) error {
 		}
 	}
 	return err
+}
+
+// pipelineError marks a cold-pipeline domain failure (bad kernel,
+// unresolvable shapes) as distinct from infrastructure failures, so a
+// flight can fan one failure out to every coalesced participant and the
+// handler still maps it to 422 rather than 500.
+type pipelineError struct{ err error }
+
+func (e *pipelineError) Error() string { return e.err.Error() }
+func (e *pipelineError) Unwrap() error { return e.err }
+
+// writeFlightError maps a coalesced compute failure: pipeline domain
+// errors are the request's fault (422), everything else — the caller's
+// own dead context, pool shutdown, a marshal failure — goes through the
+// compute-error mapping (499/504/503/500).
+func (s *Server) writeFlightError(w http.ResponseWriter, err error) {
+	var perr *pipelineError
+	if errors.As(err, &perr) {
+		s.writeComputeError(w, perr.err, http.StatusUnprocessableEntity)
+		return
+	}
+	s.writeComputeError(w, err, http.StatusInternalServerError)
 }
 
 // writeComputeError maps a compute-path failure to a response. Context

@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"d2t2/internal/gen"
+	"d2t2/internal/raceflag"
+	"d2t2/internal/tiling"
+)
+
+// TestCollectFromTiledAllocs is the allocation regression gate for the
+// statistics pass. The summary-only micro tiling plus per-worker
+// scratch accumulators hold a full collection (including the micro-tile
+// retiling of a 200k-entry matrix) to a few hundred allocations; the
+// ceiling is several times the measured steady state, but far below the
+// ~200k the CSF-materializing path used to burn.
+func TestCollectFromTiledAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("alloc counts are not meaningful under the race detector")
+	}
+	r := rand.New(rand.NewSource(1))
+	m := gen.PowerLawGraph(r, 2048, 200_000, 1.7)
+	tt, err := tiling.New(m, []int{64, 64}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		workers int
+		ceiling float64
+	}{{1, 1500}, {8, 2000}} {
+		t.Run(fmt.Sprintf("workers=%d", tc.workers), func(t *testing.T) {
+			avg := testing.AllocsPerRun(2, func() {
+				s, err := CollectFromTiled(m, tt, &Options{Workers: tc.workers})
+				if err != nil || s.NumTiles == 0 {
+					t.Fatalf("collect failed: %v", err)
+				}
+			})
+			t.Logf("allocs/op: %.0f", avg)
+			if avg > tc.ceiling {
+				t.Errorf("CollectFromTiled allocates %.0f times per call, ceiling %.0f", avg, tc.ceiling)
+			}
+		})
+	}
+}

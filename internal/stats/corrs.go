@@ -1,7 +1,7 @@
 package stats
 
 import (
-	"sort"
+	"slices"
 
 	"d2t2/internal/tensor"
 )
@@ -41,8 +41,22 @@ func corrsAxis(t *tensor.COO, axis, maxShift, sampleTarget int) []float64 {
 	}
 
 	// Group the needed entries by coordinate along axis; the "rest" of
-	// each entry is encoded into a single uint64 key.
-	rest := make(map[int][]uint64)
+	// each entry is encoded into a single uint64 key. Count-then-fill into
+	// one flat backing array instead of a map of growing slices: two
+	// passes over the entries, a handful of allocations total.
+	cnt := make([]int32, dim+1)
+	for p := 0; p < t.NNZ(); p++ {
+		if k := t.Crds[axis][p]; needed[k] {
+			cnt[k+1]++
+		}
+	}
+	off := make([]int32, dim+1)
+	for k := 0; k < dim; k++ {
+		off[k+1] = off[k] + cnt[k+1]
+	}
+	flat := make([]uint64, off[dim])
+	cur := make([]int32, dim)
+	copy(cur, off[:dim])
 	for p := 0; p < t.NNZ(); p++ {
 		k := t.Crds[axis][p]
 		if !needed[k] {
@@ -55,22 +69,24 @@ func corrsAxis(t *tensor.COO, axis, maxShift, sampleTarget int) []float64 {
 			}
 			key = key*uint64(t.Dims[a]) + uint64(t.Crds[a][p])
 		}
-		rest[k] = append(rest[k], key)
+		flat[cur[k]] = key
+		cur[k]++
 	}
-	for _, lst := range rest {
-		sort.Slice(lst, func(a, b int) bool { return lst[a] < lst[b] })
+	rest := func(k int) []uint64 { return flat[off[k]:off[k+1]] }
+	for k := 0; k < dim; k++ {
+		slices.Sort(rest(k))
 	}
 
 	overlap := make([]float64, maxShift+1)
 	base := 0.0
 	for _, k := range sources {
-		lk := rest[k]
+		lk := rest(k)
 		if len(lk) == 0 {
 			continue
 		}
 		base += float64(len(lk))
-		for s := 0; s <= maxShift; s++ {
-			ls := rest[k+s]
+		for s := 0; s <= maxShift && k+s < dim; s++ {
+			ls := rest(k + s)
 			if len(ls) == 0 {
 				continue
 			}

@@ -40,46 +40,52 @@ func buildMicroSummary(ctx context.Context, t *tensor.COO, tt *tiling.TiledTenso
 			md[a] = 1
 		}
 	}
-	// Fast path: at micro = base the existing tiling IS the summary; no
-	// second tiling pass is needed (this keeps MicroDiv=1 collection at
-	// CSF-traversal cost, the regime of the paper's Fig. 7 overheads).
-	mt := tt
-	if microDiv != 1 {
-		var err error
-		mt, err = tiling.NewCtx(ctx, t, md, tt.Order, workers)
-		if err != nil {
-			return nil, err
-		}
-	}
 	ms := &microSummary{
 		dims:      append([]int(nil), t.Dims...),
 		microDims: md,
-		outerDims: append([]int(nil), mt.OuterDims...),
 	}
 	// Keys are stored in ascending order. The consumers aggregate the
 	// micro entries order-insensitively (integer sums, maxima, set
 	// counts), but the Portable encoding serializes this table verbatim —
 	// a canonical order keeps the portable bytes byte-identical across
 	// runs and worker counts.
-	ms.keys = make([]uint64, 0, len(mt.Tiles))
-	for k := range mt.Tiles {
-		ms.keys = append(ms.keys, k)
-	}
-	sort.Slice(ms.keys, func(i, j int) bool { return ms.keys[i] < ms.keys[j] })
-	ms.nnz = make([]int32, len(ms.keys))
-	ms.footprint = make([]int32, len(ms.keys))
-	for i, k := range ms.keys {
-		tile := mt.Tiles[k]
-		ms.nnz[i] = checked.Int32(tile.NNZ())
-		ms.footprint[i] = checked.Int32(tile.Footprint)
+	estBase := 0
+	if microDiv == 1 {
+		// Fast path: at micro = base the existing tiling IS the summary; no
+		// second tiling pass is needed (this keeps MicroDiv=1 collection at
+		// CSF-traversal cost, the regime of the paper's Fig. 7 overheads).
+		ms.outerDims = append([]int(nil), tt.OuterDims...)
+		ms.keys = make([]uint64, 0, len(tt.Tiles))
+		for k := range tt.Tiles {
+			ms.keys = append(ms.keys, k)
+		}
+		sort.Slice(ms.keys, func(i, j int) bool { return ms.keys[i] < ms.keys[j] })
+		ms.nnz = make([]int32, len(ms.keys))
+		ms.footprint = make([]int32, len(ms.keys))
+		for i, k := range ms.keys {
+			tile := tt.Tiles[k]
+			ms.nnz[i] = checked.Int32(tile.NNZ())
+			ms.footprint[i] = checked.Int32(tile.Footprint)
+			estBase += tile.Footprint
+		}
+	} else {
+		// The micro pass only needs per-tile entry counts and footprints,
+		// so it runs the tiler's summary mode: same radix group-by, same
+		// footprint words, no short-lived CSF per micro tile. The keys come
+		// back sorted ascending already.
+		sum, err := tiling.SummarizeCtx(ctx, t, md, tt.Order, workers)
+		if err != nil {
+			return nil, err
+		}
+		ms.outerDims = sum.OuterDims
+		ms.keys = sum.Keys
+		ms.nnz = sum.NNZ
+		ms.footprint = sum.Footprint
+		estBase = sum.TotalFootprint
 	}
 
 	// Fit the footprint calibration at the base shape, where the exact
 	// retiled footprint is known from the initial tiling.
-	estBase := 0
-	for _, fp := range ms.footprint {
-		estBase += int(fp)
-	}
 	ms.fpScale = 1
 	if estBase > 0 && tt.TotalFootprint > 0 {
 		ms.fpScale = float64(tt.TotalFootprint) / float64(estBase)
@@ -174,63 +180,107 @@ func (s *Stats) EvalShape(tileDims []int) (*ShapeStats, error) {
 		area *= float64(tileDims[a])
 	}
 
+	// Aggregation state is laid out flat — an index map into an []agg
+	// slice, []bool occupancy per axis over one backing array, and prefix
+	// sets only for the middle levels (the first level's prefix count is
+	// the axis occupancy of Order[0]; the last level's is NumTiles, both
+	// free) — so the per-micro-key loop below allocates nothing. This is
+	// the optimizer's hottest loop: EvalShape runs per (ref, candidate
+	// shape) and ms.keys is the full micro-tile population.
 	type agg struct {
 		nnz, fp int
 	}
-	groups := make(map[uint64]*agg, len(ms.keys)/2+1)
-	axisOcc := make([]map[int]struct{}, n)
-	prefixOcc := make([]map[uint64]struct{}, n)
-	for a := range axisOcc {
-		axisOcc[a] = make(map[int]struct{})
-		prefixOcc[a] = make(map[uint64]struct{})
+	gid := make(map[uint64]int32, len(ms.keys)/2+1)
+	aggs := make([]agg, 0, len(ms.keys)/2+1)
+	gkeys := make([]uint64, 0, len(ms.keys)/2+1)
+	occTotal := 0
+	for a := 0; a < n; a++ {
+		occTotal += out.OuterDims[a]
 	}
+	occBack := make([]bool, occTotal)
+	axisOcc := make([][]bool, n)
+	for a, off := 0, 0; a < n; a++ {
+		axisOcc[a] = occBack[off : off+out.OuterDims[a] : off+out.OuterDims[a]]
+		off += out.OuterDims[a]
+	}
+	var prefixOcc []map[uint64]struct{}
+	if n > 2 {
+		prefixOcc = make([]map[uint64]struct{}, n)
+		for l := 1; l < n-1; l++ {
+			prefixOcc[l] = make(map[uint64]struct{})
+		}
+	}
+	mc := make([]int, n)
 	oc := make([]int, n)
 	for idx, k := range ms.keys {
-		mc := tiling.Unkey(k, n)
+		tiling.UnkeyInto(mc, k)
 		for a := range oc {
 			oc[a] = mc[a] / factors[a]
-			axisOcc[a][oc[a]] = struct{}{}
+			axisOcc[a][oc[a]] = true
 		}
-		var pk uint64
-		for l, ax := range s.Order {
-			pk = pk<<21 | uint64(oc[ax])
-			prefixOcc[l][pk] = struct{}{}
+		if n > 2 {
+			pk := uint64(oc[s.Order[0]])
+			for l := 1; l < n-1; l++ {
+				pk = pk<<21 | uint64(oc[s.Order[l]])
+				prefixOcc[l][pk] = struct{}{}
+			}
 		}
 		gk := tiling.Key(oc)
-		g := groups[gk]
-		if g == nil {
-			g = &agg{}
-			groups[gk] = g
+		g, ok := gid[gk]
+		if !ok {
+			g = checked.Int32(len(aggs))
+			gid[gk] = g
+			aggs = append(aggs, agg{})
+			gkeys = append(gkeys, gk)
 		}
-		g.nnz += int(ms.nnz[idx])
-		g.fp += int(ms.footprint[idx])
+		aggs[g].nnz += int(ms.nnz[idx])
+		aggs[g].fp += int(ms.footprint[idx])
 	}
 	out.Order = append([]int(nil), s.Order...)
 	out.PrefixOccupied = make([]int, n)
-	for l := range prefixOcc {
+	for a := 0; a < n; a++ {
+		cnt := 0
+		for _, b := range axisOcc[a] {
+			if b {
+				cnt++
+			}
+		}
+		out.Occupied[a] = cnt
+	}
+	// The level-0 prefix is just the first level's axis coordinate and the
+	// full prefix is the whole outer coordinate, so both counts come from
+	// state already built; only middle levels (order ≥ 3) need real sets.
+	if n > 0 {
+		out.PrefixOccupied[0] = out.Occupied[s.Order[0]]
+		out.PrefixOccupied[n-1] = len(aggs)
+	}
+	for l := 1; l < n-1; l++ {
 		out.PrefixOccupied[l] = len(prefixOcc[l])
 	}
 
-	out.NumTiles = len(groups)
+	out.NumTiles = len(aggs)
 	totalFP, totalNNZ := 0, 0
-	keys := make([]uint64, 0, len(groups))
-	for gk := range groups {
-		keys = append(keys, gk)
+	// Sort the groups by key through a permutation so the enumeration
+	// below is canonical regardless of first-appearance order.
+	perm := make([]int, len(gkeys))
+	for i := range perm {
+		perm[i] = i
 	}
-	sort.Slice(keys, func(x, y int) bool { return keys[x] < keys[y] })
-	out.GroupOuter = make([][]int32, 0, len(groups))
-	out.GroupFP = make([]float64, 0, len(groups))
-	for _, gk := range keys {
-		g := groups[gk]
+	sort.Slice(perm, func(x, y int) bool { return gkeys[perm[x]] < gkeys[perm[y]] })
+	out.GroupOuter = make([][]int32, 0, len(aggs))
+	out.GroupFP = make([]float64, 0, len(aggs))
+	ocBack := make([]int32, n*len(aggs))
+	for gi, pi := range perm {
+		g := aggs[pi]
 		totalFP += g.fp
 		totalNNZ += g.nnz
 		if g.fp > out.MaxTile {
 			out.MaxTile = g.fp
 		}
-		dec := tiling.Unkey(gk, n)
-		oc32 := make([]int32, n)
-		for a := range dec {
-			oc32[a] = checked.Int32(dec[a])
+		tiling.UnkeyInto(mc, gkeys[pi])
+		oc32 := ocBack[gi*n : (gi+1)*n : (gi+1)*n]
+		for a, v := range mc {
+			oc32[a] = checked.Int32(v)
 		}
 		out.GroupOuter = append(out.GroupOuter, oc32)
 		out.GroupFP = append(out.GroupFP, float64(g.fp))
@@ -253,9 +303,8 @@ func (s *Stats) EvalShape(tileDims []int) (*ShapeStats, error) {
 		out.PTile = float64(out.NumTiles) / domain
 	}
 	for a := 0; a < n; a++ {
-		out.Occupied[a] = len(axisOcc[a])
 		if out.OuterDims[a] > 0 {
-			out.Marginal[a] = float64(len(axisOcc[a])) / float64(out.OuterDims[a])
+			out.Marginal[a] = float64(out.Occupied[a]) / float64(out.OuterDims[a])
 		}
 	}
 	return out, nil
@@ -274,7 +323,15 @@ func (s *Stats) MicroDims() []int {
 // of the micro dimension, clamped to the tensor dimension rounded up to a
 // micro multiple.
 func (s *Stats) SnapToMicro(tileDims []int) []int {
-	out := make([]int, len(tileDims))
+	return s.SnapToMicroInto(make([]int, len(tileDims)), tileDims)
+}
+
+// SnapToMicroInto is SnapToMicro writing into dst (which must have
+// len(tileDims) and may alias tileDims for in-place snapping). It returns
+// dst. This is the allocation-free variant the model's snapping hot path
+// uses.
+func (s *Stats) SnapToMicroInto(dst, tileDims []int) []int {
+	out := dst
 	for a, td := range tileDims {
 		m := s.micro.microDims[a]
 		q := (td + m/2) / m

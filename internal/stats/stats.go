@@ -20,6 +20,7 @@ package stats
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"d2t2/internal/par"
 	"d2t2/internal/tensor"
@@ -225,17 +226,29 @@ func CollectFromTiledCtx(ctx context.Context, t *tensor.COO, tt *tiling.TiledTen
 	tileChunks := par.Chunks(o.Workers, len(tilesArr))
 
 	// One parallel pass over tile ranges: per-level fiber totals (for
-	// ProbIndex) and outer-slice occupancy, reduced per chunk and merged.
+	// ProbIndex) and outer-slice occupancy. Each worker accumulates into
+	// one lazily-created scratch aggregate across every chunk it claims
+	// (per-worker arenas, not per-chunk allocations); the scratches are
+	// registered under a mutex and merged afterwards. Registration order
+	// varies run to run, but the merge is a commutative integer sum and
+	// boolean OR, so the result is byte-identical at any worker count.
 	type tileAgg struct {
 		fibers []int
 		occ    [][]bool
 	}
-	aggs := make([]tileAgg, len(tileChunks))
-	if err := par.ForEachCtx(ctx, o.Workers, len(tileChunks), func(c int) error {
-		a := tileAgg{fibers: make([]int, n), occ: make([][]bool, n)}
+	var tmu sync.Mutex
+	var taggs []*tileAgg
+	newTileAgg := func() *tileAgg {
+		a := &tileAgg{fibers: make([]int, n), occ: make([][]bool, n)}
 		for ax := 0; ax < n; ax++ {
 			a.occ[ax] = make([]bool, tt.OuterDims[ax])
 		}
+		tmu.Lock()
+		taggs = append(taggs, a)
+		tmu.Unlock()
+		return a
+	}
+	if err := par.ForEachScratchCtx(ctx, o.Workers, len(tileChunks), newTileAgg, func(c int, a *tileAgg) error {
 		for _, tile := range tilesArr[tileChunks[c][0]:tileChunks[c][1]] {
 			for l := 0; l < n; l++ {
 				a.fibers[l] += tile.CSF.FiberCount(l)
@@ -244,7 +257,6 @@ func CollectFromTiledCtx(ctx context.Context, t *tensor.COO, tt *tiling.TiledTen
 				a.occ[ax][crd] = true
 			}
 		}
-		aggs[c] = a
 		return nil
 	}); err != nil {
 		return nil, err
@@ -254,7 +266,7 @@ func CollectFromTiledCtx(ctx context.Context, t *tensor.COO, tt *tiling.TiledTen
 	for ax := 0; ax < n; ax++ {
 		s.occupancy[ax] = make([]bool, tt.OuterDims[ax])
 	}
-	for _, a := range aggs {
+	for _, a := range taggs {
 		for l, v := range a.fibers {
 			fiberTotals[l] += v
 		}
@@ -293,13 +305,24 @@ func CollectFromTiledCtx(ctx context.Context, t *tensor.COO, tt *tiling.TiledTen
 			counts   [][]int32
 			sketches []*bottomK
 		}
-		eaggs := make([]entryAgg, len(entryChunks))
-		if err := par.ForEachCtx(ctx, o.Workers, len(entryChunks), func(c int) error {
-			ea := entryAgg{counts: make([][]int32, n), sketches: make([]*bottomK, n)}
+		var emu sync.Mutex
+		var eaggs []*entryAgg
+		newEntryAgg := func() *entryAgg {
+			ea := &entryAgg{counts: make([][]int32, n), sketches: make([]*bottomK, n)}
 			for a := 0; a < n; a++ {
 				ea.counts[a] = make([]int32, t.Dims[a])
 				ea.sketches[a] = newBottomK(sketchSize)
 			}
+			emu.Lock()
+			eaggs = append(eaggs, ea)
+			emu.Unlock()
+			return ea
+		}
+		// Same per-worker scratch discipline as the tile pass: histograms
+		// sum elementwise and bottom-k sketches merge into the k-smallest
+		// multiset, both order-independent, so accumulating across whichever
+		// chunks a worker happens to claim matches the serial pass exactly.
+		if err := par.ForEachScratchCtx(ctx, o.Workers, len(entryChunks), newEntryAgg, func(c int, ea *entryAgg) error {
 			for p := entryChunks[c][0]; p < entryChunks[c][1]; p++ {
 				for a := 0; a < n; a++ {
 					ea.counts[a][t.Crds[a][p]]++
@@ -315,7 +338,6 @@ func CollectFromTiledCtx(ctx context.Context, t *tensor.COO, tt *tiling.TiledTen
 					ea.sketches[a].add(hash64(uint64(t.Crds[a][p])<<26 ^ rest))
 				}
 			}
-			eaggs[c] = ea
 			return nil
 		}); err != nil {
 			return nil, err

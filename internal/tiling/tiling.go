@@ -11,8 +11,10 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
+	"d2t2/internal/checked"
 	"d2t2/internal/formats"
 	"d2t2/internal/par"
 	"d2t2/internal/tensor"
@@ -34,11 +36,18 @@ func Key(outer []int) uint64 {
 // Unkey decodes a key produced by Key back into n outer coordinates.
 func Unkey(k uint64, n int) []int {
 	out := make([]int, n)
-	for a := n - 1; a >= 0; a-- {
-		out[a] = int(k & (1<<keyShift - 1))
+	UnkeyInto(out, k)
+	return out
+}
+
+// UnkeyInto decodes a key produced by Key into dst (whose length sets
+// the coordinate count) without allocating — the hot-loop form of Unkey
+// used by shape re-evaluation over tens of thousands of micro keys.
+func UnkeyInto(dst []int, k uint64) {
+	for a := len(dst) - 1; a >= 0; a-- {
+		dst[a] = int(k & (1<<keyShift - 1))
 		k >>= keyShift
 	}
-	return out
 }
 
 // Tile is one non-empty coordinate-space tile: its outer coordinates (in
@@ -113,8 +122,9 @@ func (tt *TiledTensor) SortedKeys() []uint64 {
 	n := len(tt.Dims)
 	type keyPair struct{ ord, key uint64 }
 	pairs := make([]keyPair, 0, len(tt.Tiles))
+	c := make([]int, n)
 	for k := range tt.Tiles {
-		c := Unkey(k, n)
+		UnkeyInto(c, k)
 		var ord uint64
 		for _, ax := range tt.Order {
 			ord = ord<<keyShift | uint64(c[ax])
@@ -157,6 +167,123 @@ func NewParallel(t *tensor.COO, tileDims []int, order []int, workers int) (*Tile
 // NewParallel's byte-identical result.
 func NewCtx(ctx context.Context, t *tensor.COO, tileDims []int, order []int, workers int) (*TiledTensor, error) {
 	n := t.Order()
+	order, err := validateTiling(t, tileDims, order)
+	if err != nil {
+		return nil, err
+	}
+
+	tt := &TiledTensor{
+		Dims:      append([]int(nil), t.Dims...),
+		TileDims:  append([]int(nil), tileDims...),
+		OuterDims: make([]int, n),
+		Order:     append([]int(nil), order...),
+		Tiles:     make(map[uint64]*Tile),
+		NNZ:       t.NNZ(),
+	}
+	for a := range tt.OuterDims {
+		tt.OuterDims[a] = (t.Dims[a] + tileDims[a] - 1) / tileDims[a]
+	}
+
+	gr, err := groupByOuter(ctx, t, tileDims, order, workers)
+	if err != nil {
+		return nil, err
+	}
+	inner, groupKeys, starts, entOf := gr.inner, gr.groupKeys, gr.starts, gr.entOf
+
+	innerDims := make([]int, n)
+	for l, ax := range order {
+		innerDims[l] = tileDims[ax]
+	}
+
+	// Pass 4 (parallel per group): sort each group's entries by inner
+	// coordinates in level order (a strict total order — the input is
+	// duplicate-free) and build its inner CSF. Workers write disjoint
+	// slots of the per-group slices; no shared state. Each worker reuses
+	// one scratch of column/value buffers across every group it claims
+	// (grown once to the largest group, never reallocated per tile), and
+	// the Tile structs and their outer-coordinate slices come from two
+	// flat backing arrays instead of per-group allocations — all three
+	// are retained by the result or reused, so the per-group cost is the
+	// inner CSF's exact-sized arrays and nothing else.
+	tiles := make([]Tile, len(groupKeys))
+	ocBack := make([]int, n*len(groupKeys))
+	type tileScratch struct {
+		cols [][]int32
+		vals []float64
+	}
+	newScratch := func() *tileScratch { return &tileScratch{cols: make([][]int32, n)} }
+	// One comparator shared by every worker (read-only captures): the
+	// per-group sort.Slice closure plus its reflection-based swapper were
+	// one allocation per tile, visible at micro-tiling granularity.
+	cmpInner := func(p, q int) int {
+		for l := 0; l < n; l++ {
+			if d := inner[l][p] - inner[l][q]; d != 0 {
+				return int(d)
+			}
+		}
+		return 0
+	}
+	err = par.ForEachScratchCtx(ctx, workers, len(groupKeys), newScratch, func(g int, sc *tileScratch) error {
+		seg := entOf[starts[g]:starts[g+1]]
+		slices.SortFunc(seg, cmpInner)
+		if cap(sc.vals) < len(seg) {
+			for l := 0; l < n; l++ {
+				sc.cols[l] = make([]int32, len(seg))
+			}
+			sc.vals = make([]float64, len(seg))
+		}
+		cols := sc.cols
+		vals := sc.vals[:len(seg)]
+		for l := 0; l < n; l++ {
+			col := cols[l][:len(seg)]
+			for x, p := range seg {
+				col[x] = inner[l][p]
+			}
+			cols[l] = col
+		}
+		for x, p := range seg {
+			vals[x] = t.Vals[p]
+		}
+		// The CSF copies out of the scratch and shares innerDims/order —
+		// both owned by this tiling and immutable from here on.
+		csf := formats.BuildSortedUniqueShared(innerDims, tt.Order, cols, vals)
+		// Decode the level-order group key back into axis-order coords.
+		k := groupKeys[g]
+		oc := ocBack[g*n : (g+1)*n : (g+1)*n]
+		for l := n - 1; l >= 0; l-- {
+			oc[order[l]] = int(k & (1<<keyShift - 1))
+			k >>= keyShift
+		}
+		tiles[g] = Tile{Outer: oc, CSF: csf, Footprint: csf.FootprintWords()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 5 (serial): keyed merge in group order. The aggregates are an
+	// integer sum and maximum, so the totals are independent of group
+	// discovery order. Tiles live in one flat array; the map holds
+	// pointers into it.
+	for g := range tiles {
+		tile := &tiles[g]
+		tt.Tiles[Key(tile.Outer)] = tile
+		tt.TotalFootprint += tile.Footprint
+		if tile.Footprint > tt.MaxFootprint {
+			tt.MaxFootprint = tile.Footprint
+		}
+	}
+
+	tt.buildOuterCSF()
+	return tt, nil
+}
+
+// validateTiling checks the tile-dims/order arity and the coordinate
+// width bounds shared by NewCtx and SummarizeCtx, returning the resolved
+// level order (natural when nil). The math.MaxInt32 guard here bounds
+// every outer/inner conversion downstream of both entry points.
+func validateTiling(t *tensor.COO, tileDims, order []int) ([]int, error) {
+	n := t.Order()
 	if len(tileDims) != n {
 		return nil, fmt.Errorf("tiling: %d tile dims for order-%d tensor", len(tileDims), n)
 	}
@@ -183,26 +310,45 @@ func NewCtx(ctx context.Context, t *tensor.COO, tileDims []int, order []int, wor
 			return nil, fmt.Errorf("tiling: axis %d dimension %d exceeds the int32 coordinate width", a, t.Dims[a])
 		}
 	}
+	return order, nil
+}
 
-	tt := &TiledTensor{
-		Dims:      append([]int(nil), t.Dims...),
-		TileDims:  append([]int(nil), tileDims...),
-		OuterDims: make([]int, n),
-		Order:     append([]int(nil), order...),
-		Tiles:     make(map[uint64]*Tile),
-		NNZ:       t.NNZ(),
-	}
-	for a := range tt.OuterDims {
-		tt.OuterDims[a] = (t.Dims[a] + tileDims[a] - 1) / tileDims[a]
-	}
+// grouping is the output of the radix group-by passes shared by the full
+// tiler and the summary pass: per-entry inner coordinates per level, the
+// group keys (packed in level order, first-appearance order), and entry
+// indices counting-sorted into per-group contiguous segments of entOf
+// (group g owns entOf[starts[g]:starts[g+1]], stable within the group).
+type grouping struct {
+	inner     [][]int32
+	groupKeys []uint64
+	starts    []int
+	entOf     []int
+}
 
+// groupByOuter runs passes 1–3 of the tiler: compute per-entry inner
+// coordinates and level-order outer keys in parallel, discover groups
+// serially in first-appearance order, and counting-sort entry indices
+// into per-group segments. The caller must have validated tileDims/order
+// via validateTiling.
+func groupByOuter(ctx context.Context, t *tensor.COO, tileDims, order []int, workers int) (*grouping, error) {
+	n := t.Order()
 	nnz := t.NNZ()
+
+	// Inner coordinates are remainders modulo the tile size, which
+	// validateTiling capped at math.MaxInt32 — assert per axis so the
+	// int32 narrowing in pass 1 is visibly safe without a per-entry
+	// check.
+	for _, td := range tileDims {
+		if td <= 0 || td > math.MaxInt32 {
+			return nil, fmt.Errorf("tiling: tile dim %d out of int32 range", td)
+		}
+	}
 
 	// Pass 1 (parallel over disjoint entry ranges): per-entry inner
 	// coordinates per level and the outer tile key packed in level order.
-	// The keyShift guard above bounds every outer coordinate below
-	// 2^keyShift, so n levels always fit one uint64 (Key relies on the
-	// same bound in axis order).
+	// The keyShift guard in validateTiling bounds every outer coordinate
+	// below 2^keyShift, so n levels always fit one uint64 (Key relies on
+	// the same bound in axis order).
 	inner := make([][]int32, n)
 	for l := range inner {
 		inner[l] = make([]int32, nnz)
@@ -261,68 +407,139 @@ func NewCtx(ctx context.Context, t *tensor.COO, tileDims []int, order []int, wor
 		entOf[cursor[g]] = p
 		cursor[g]++
 	}
+	return &grouping{inner: inner, groupKeys: groupKeys, starts: starts, entOf: entOf}, nil
+}
 
-	innerDims := make([]int, n)
-	for l, ax := range order {
-		innerDims[l] = tileDims[ax]
+// TileSummary is the allocation-light alternative to a full tiling: the
+// per-tile aggregates the statistics collector's micro summary needs —
+// keys, entry counts and CSF footprints — computed without materializing
+// an inner CSF per tile. For a tiling at micro granularity this replaces
+// tens of thousands of short-lived CSF allocations with three flat
+// arrays.
+type TileSummary struct {
+	OuterDims []int    // micro grid extent per axis
+	Keys      []uint64 // axis-order Key() per non-empty tile, ascending
+	NNZ       []int32  // stored entries per tile, parallel to Keys
+	Footprint []int32  // CSF footprint words per tile, parallel to Keys
+
+	TotalFootprint int
+}
+
+// Summarize is SummarizeCtx without cancellation.
+func Summarize(t *tensor.COO, tileDims, order []int, workers int) (*TileSummary, error) {
+	return SummarizeCtx(context.Background(), t, tileDims, order, workers)
+}
+
+// SummarizeCtx computes the TileSummary of tiling t by tileDims in level
+// order `order` (nil = natural). The per-tile footprints are exactly what
+// NewCtx would record (FootprintWords of the per-tile CSF): entries ×
+// one value word, plus per level the fiber count (coordinate words) and
+// the segment words (parent fibers + 1; 2 at the root). Results are
+// byte-identical at any worker count.
+func SummarizeCtx(ctx context.Context, t *tensor.COO, tileDims, order []int, workers int) (*TileSummary, error) {
+	n := t.Order()
+	order, err := validateTiling(t, tileDims, order)
+	if err != nil {
+		return nil, err
+	}
+	gr, err := groupByOuter(ctx, t, tileDims, order, workers)
+	if err != nil {
+		return nil, err
+	}
+	inner, groupKeys, starts, entOf := gr.inner, gr.groupKeys, gr.starts, gr.entOf
+
+	sum := &TileSummary{
+		OuterDims: make([]int, n),
+		Keys:      make([]uint64, len(groupKeys)),
+		NNZ:       make([]int32, len(groupKeys)),
+		Footprint: make([]int32, len(groupKeys)),
+	}
+	for a := range sum.OuterDims {
+		sum.OuterDims[a] = (t.Dims[a] + tileDims[a] - 1) / tileDims[a]
 	}
 
-	// Pass 4 (parallel per group): sort each group's entries by inner
-	// coordinates in level order (a strict total order — the input is
-	// duplicate-free) and build its inner CSF. Workers write disjoint
-	// slots of the per-group slice; no shared state.
-	tiles := make([]*Tile, len(groupKeys))
-	err := par.ForEachCtx(ctx, workers, len(groupKeys), func(g int) error {
-		seg := entOf[starts[g]:starts[g+1]]
-		sort.Slice(seg, func(x, y int) bool {
-			p, q := seg[x], seg[y]
-			for l := 0; l < n; l++ {
-				if inner[l][p] != inner[l][q] {
-					return inner[l][p] < inner[l][q]
-				}
-			}
-			return false
-		})
-		runCrds := make([][]int32, n)
+	cmpInner := func(p, q int) int {
 		for l := 0; l < n; l++ {
-			col := make([]int32, len(seg))
-			for x, p := range seg {
-				col[x] = inner[l][p]
+			if d := inner[l][p] - inner[l][q]; d != 0 {
+				return int(d)
 			}
-			runCrds[l] = col
 		}
-		vals := make([]float64, len(seg))
-		for x, p := range seg {
-			vals[x] = t.Vals[p]
+		return 0
+	}
+	// Parallel per group: sort the group's entries by inner coordinates
+	// (the same strict total order the CSF build uses) and count fibers
+	// per level by divergence — a fiber opens at every entry whose path
+	// diverges from its predecessor's at or above that level. Workers
+	// write disjoint per-group slots; nothing here allocates.
+	if err := par.ForEachCtx(ctx, workers, len(groupKeys), func(g int) error {
+		seg := entOf[starts[g]:starts[g+1]]
+		slices.SortFunc(seg, cmpInner)
+		// Footprint = values + Σ_l coords (fibers[l]) + Σ_l segment words
+		// (fibers[l-1]+1 per level, 2 at the root — an n+1 constant plus
+		// every non-leaf level's fiber count repeated as its child's
+		// segment starts).
+		words := len(seg) + n + 1
+		var fibArr [8]int
+		fib := fibArr[:]
+		if n > len(fibArr) {
+			fib = make([]int, n)
 		}
-		csf := formats.BuildSortedUnique(innerDims, order, runCrds, vals)
-		// Decode the level-order group key back into axis-order coords.
+		for l := 0; l < n; l++ {
+			fib[l] = 1 // the first entry opens every level
+		}
+		for x := 1; x < len(seg); x++ {
+			p, q := seg[x], seg[x-1]
+			div := 0
+			for div < n && inner[div][p] == inner[div][q] {
+				div++
+			}
+			for l := div; l < n; l++ {
+				fib[l]++
+			}
+		}
+		for l := 0; l < n; l++ {
+			words += fib[l]
+			if l < n-1 {
+				words += fib[l] // segment entries of level l+1
+			}
+		}
+		// Decode the level-order group key into an axis-order Key.
 		k := groupKeys[g]
-		oc := make([]int, n)
+		var ocArr [8]int
+		oc := ocArr[:]
+		if n > len(ocArr) {
+			oc = make([]int, n)
+		}
 		for l := n - 1; l >= 0; l-- {
 			oc[order[l]] = int(k & (1<<keyShift - 1))
 			k >>= keyShift
 		}
-		tiles[g] = &Tile{Outer: oc, CSF: csf, Footprint: csf.FootprintWords()}
+		sum.Keys[g] = Key(oc[:n])
+		sum.NNZ[g] = checked.Int32(len(seg))
+		sum.Footprint[g] = checked.Int32(words)
 		return nil
-	})
-	if err != nil {
+	}); err != nil {
 		return nil, err
 	}
 
-	// Pass 5 (serial): keyed merge in group order. The aggregates are an
-	// integer sum and maximum, so the totals are independent of group
-	// discovery order.
-	for _, tile := range tiles {
-		tt.Tiles[Key(tile.Outer)] = tile
-		tt.TotalFootprint += tile.Footprint
-		if tile.Footprint > tt.MaxFootprint {
-			tt.MaxFootprint = tile.Footprint
-		}
+	// Canonical order: ascending axis-order key (what the stats micro
+	// summary serializes); keys are unique so the permutation is total.
+	perm := make([]int, len(sum.Keys))
+	for i := range perm {
+		perm[i] = i
 	}
-
-	tt.buildOuterCSF()
-	return tt, nil
+	sort.Slice(perm, func(x, y int) bool { return sum.Keys[perm[x]] < sum.Keys[perm[y]] })
+	keys := make([]uint64, len(perm))
+	nnzs := make([]int32, len(perm))
+	fps := make([]int32, len(perm))
+	for i, pi := range perm {
+		keys[i] = sum.Keys[pi]
+		nnzs[i] = sum.NNZ[pi]
+		fps[i] = sum.Footprint[pi]
+		sum.TotalFootprint += int(fps[i])
+	}
+	sum.Keys, sum.NNZ, sum.Footprint = keys, nnzs, fps
+	return sum, nil
 }
 
 // buildOuterCSF constructs the CSF over outer tile coordinates whose leaf
