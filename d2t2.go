@@ -323,7 +323,7 @@ func (r *TrafficReport) TotalMB() float64 { return r.traffic.TotalMB() }
 // Measure tiles the plan's inputs with its configuration and executes the
 // kernel on the measurement backend, returning exact traffic.
 func (p *Plan) Measure() (*TrafficReport, error) {
-	return MeasureConfig(p.kernel, p.inputs, p.Config)
+	return p.MeasureCtx(context.Background())
 }
 
 // MeasureCtx is Measure with cooperative cancellation of the retiling

@@ -70,6 +70,14 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{name: "goroutinehygiene", dir: "gohygiene", loadAs: "d2t2/internal/exec/fixture_gohygiene", analyzer: GoroutineHygiene},
 		{name: "panicpolicy", dir: "panicpol", loadAs: "d2t2/internal/einsum/fixture_panicpol", analyzer: PanicPolicy},
 		{name: "panicpolicy-main", dir: "panicmain", loadAs: "d2t2/cmd/fixture_panicmain", analyzer: PanicPolicy, wantZero: true},
+		{name: "ctxpropagation", dir: "ctxprop", loadAs: "d2t2/internal/fixture_ctxprop", analyzer: CtxPropagation},
+		{name: "ctxpropagation-suppressed", dir: "ctxprop_ok", loadAs: "d2t2/internal/fixture_ctxprop_ok", analyzer: CtxPropagation, wantZero: true},
+		{name: "scratchescape", dir: "scratchescape", loadAs: "d2t2/internal/fixture_scratch", analyzer: ScratchEscape},
+		{name: "scratchescape-suppressed", dir: "scratchescape_ok", loadAs: "d2t2/internal/fixture_scratch_ok", analyzer: ScratchEscape, wantZero: true},
+		{name: "reductionorder", dir: "reductionorder", loadAs: "d2t2/internal/fixture_redorder", analyzer: ReductionOrder},
+		{name: "reductionorder-suppressed", dir: "reductionorder_ok", loadAs: "d2t2/internal/fixture_redorder_ok", analyzer: ReductionOrder, wantZero: true},
+		{name: "countername", dir: "countername", loadAs: "d2t2/internal/fixture_countername", analyzer: CounterName},
+		{name: "countername-suppressed", dir: "countername_ok", loadAs: "d2t2/internal/fixture_countername_ok", analyzer: CounterName, wantZero: true},
 	}
 
 	for _, tc := range cases {
@@ -218,5 +226,55 @@ func TestIgnoreParsing(t *testing.T) {
 	}
 	if len(diags) != 2 {
 		t.Fatalf("want exactly the 2 marked findings, got:\n%s", formatDiags(diags))
+	}
+}
+
+// TestIgnoreExtent pins the multi-line suppression rules: an annotation
+// above a statement covers the statement's full extent, but never
+// reaches into a function literal's body (so an ignore above a par
+// fan-out cannot blanket the closure).
+func TestIgnoreExtent(t *testing.T) {
+	l := testLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "ignoreext"), "d2t2/internal/fixture_ignoreext")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkg, []*Analyzer{CounterName, ReductionOrder})
+	var gotCounter, gotReduction int
+	for _, d := range diags {
+		switch d.Check {
+		case "countername":
+			gotCounter++
+		case "reductionorder":
+			gotReduction++
+		}
+	}
+	if gotCounter != 1 {
+		t.Errorf("want 1 surviving countername finding (covered() suppressed, uncovered() kept), got %d:\n%s",
+			gotCounter, formatDiags(diags))
+	}
+	if gotReduction != 1 {
+		t.Errorf("want 1 surviving reductionorder finding inside the closure body, got %d:\n%s",
+			gotReduction, formatDiags(diags))
+	}
+	// The survivors must sit exactly on the marker-comment lines; any
+	// other line means the suppressed twin leaked.
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "ignoreext", "ignoreext.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	markers := map[string]int{}
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "surviving countername finding") {
+			markers["countername"] = i + 1
+		}
+		if strings.Contains(line, "surviving reductionorder finding") {
+			markers["reductionorder"] = i + 1
+		}
+	}
+	for _, d := range diags {
+		if want := markers[d.Check]; want != 0 && d.Pos.Line != want {
+			t.Errorf("%s finding on line %d, want marker line %d: %s", d.Check, d.Pos.Line, want, d)
+		}
 	}
 }

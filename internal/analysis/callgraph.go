@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CallGraph is a lightweight intra-module call graph built on go/types:
+// one node per function or method *declared* in the loaded packages,
+// with the statically resolvable call sites in its body as edges. It
+// deliberately ignores dynamic dispatch through interfaces and function
+// values — the invariants it serves (ctxpropagation's "thread the
+// context through") are about concrete call sites, where a missed
+// dynamic edge means a missed finding, never a false one.
+//
+// Callee objects are normalized with types.Func.Origin, so calls to
+// generic instantiations (par.MapScratch[T, S]) resolve to the single
+// generic declaration's node.
+type CallGraph struct {
+	nodes   map[*types.Func]*CallNode
+	callers map[*types.Func][]*CallNode
+}
+
+// CallNode is one declared function with its outgoing static calls.
+type CallNode struct {
+	Func  *types.Func
+	Decl  *ast.FuncDecl
+	Pkg   *Package
+	Sites []CallSite
+}
+
+// CallSite is one call expression with a statically resolved callee.
+type CallSite struct {
+	Call   *ast.CallExpr
+	Callee *types.Func
+}
+
+// BuildCallGraph indexes every function declared in pkgs. Packages
+// loaded only as type-checked imports (no AST) contribute callee
+// identities but no nodes; analyzing them adds their nodes and edges.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		nodes:   map[*types.Func]*CallNode{},
+		callers: map[*types.Func][]*CallNode{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &CallNode{Func: fn, Decl: fd, Pkg: pkg}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := CalleeOf(pkg.Info, call); callee != nil {
+						node.Sites = append(node.Sites, CallSite{Call: call, Callee: callee})
+					}
+					return true
+				})
+				g.nodes[fn] = node
+			}
+		}
+	}
+	for _, node := range g.Nodes() {
+		seen := map[*types.Func]bool{}
+		for _, site := range node.Sites {
+			if !seen[site.Callee] {
+				seen[site.Callee] = true
+				g.callers[site.Callee] = append(g.callers[site.Callee], node)
+			}
+		}
+	}
+	return g
+}
+
+// Node returns the graph node for fn (normalized through Origin), or
+// nil when fn is not declared in the analyzed packages.
+func (g *CallGraph) Node(fn *types.Func) *CallNode {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[fn.Origin()]
+}
+
+// Callers returns the nodes holding at least one static call to fn, in
+// source order.
+func (g *CallGraph) Callers(fn *types.Func) []*CallNode {
+	if fn == nil {
+		return nil
+	}
+	out := append([]*CallNode(nil), g.callers[fn.Origin()]...)
+	sortNodes(out)
+	return out
+}
+
+// Nodes returns every node in deterministic (package path, position)
+// order.
+func (g *CallGraph) Nodes() []*CallNode {
+	out := make([]*CallNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sortNodes(out)
+	return out
+}
+
+func sortNodes(ns []*CallNode) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Pkg.Path != ns[j].Pkg.Path {
+			return ns[i].Pkg.Path < ns[j].Pkg.Path
+		}
+		return ns[i].Decl.Pos() < ns[j].Decl.Pos()
+	})
+}
+
+// CalleeOf resolves the static callee of a call expression: a named
+// function, a method, or a generic instantiation of either. It returns
+// nil for builtins, type conversions, and calls through function
+// values.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := call.Fun
+	for {
+		switch e := fun.(type) {
+		case *ast.ParenExpr:
+			fun = e.X
+		case *ast.IndexExpr: // generic instantiation f[T](...)
+			fun = e.X
+		case *ast.IndexListExpr: // generic instantiation f[T, U](...)
+			fun = e.X
+		default:
+			goto resolved
+		}
+	}
+resolved:
+	var obj types.Object
+	switch e := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return nil
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		return fn.Origin()
+	}
+	return nil
+}
+
+// CtxParamIndex returns the index of fn's context.Context parameter, or
+// -1 if it takes none.
+func CtxParamIndex(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// CtxVariant returns fn's context-accepting sibling — the function or
+// method named fn.Name()+"Ctx" in the same scope (package scope for
+// functions, the receiver's method set for methods) whose first
+// parameter is a context.Context and which otherwise takes one more
+// parameter than fn — or nil. The lookup goes through go/types, so it
+// works for callees in other packages without their ASTs.
+func CtxVariant(fn *types.Func) *types.Func {
+	if fn == nil || fn.Pkg() == nil || strings.HasSuffix(fn.Name(), "Ctx") {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	name := fn.Name() + "Ctx"
+	var cand types.Object
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		obj, _, _ := types.LookupFieldOrMethod(t, true, fn.Pkg(), name)
+		cand = obj
+	} else {
+		cand = fn.Pkg().Scope().Lookup(name)
+	}
+	sib, ok := cand.(*types.Func)
+	if !ok {
+		return nil
+	}
+	ssig, ok := sib.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if ssig.Params().Len() != sig.Params().Len()+1 || ssig.Params().Len() == 0 {
+		return nil
+	}
+	if !isContextType(ssig.Params().At(0).Type()) {
+		return nil
+	}
+	return sib.Origin()
+}

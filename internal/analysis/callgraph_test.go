@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+)
+
+// TestCallGraphCrossPackage builds one graph over a fixture package and
+// the real par package it imports, and checks that call edges resolve
+// across the package boundary in both directions (Sites out of the
+// fixture, Callers into par).
+func TestCallGraphCrossPackage(t *testing.T) {
+	l := testLoader(t)
+	fix, err := l.LoadDir(filepath.Join("testdata", "src", "reductionorder"), "d2t2/internal/fixture_graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parPkg, err := l.Load("d2t2/internal/par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildCallGraph([]*Package{fix, parPkg})
+
+	forEach, ok := parPkg.Types.Scope().Lookup("ForEach").(*types.Func)
+	if !ok {
+		t.Fatal("par.ForEach not found")
+	}
+	if g.Node(forEach) == nil {
+		t.Fatal("graph has no node for par.ForEach")
+	}
+
+	bad, ok := fix.Types.Scope().Lookup("Bad").(*types.Func)
+	if !ok {
+		t.Fatal("fixture Bad not found")
+	}
+	node := g.Node(bad)
+	if node == nil {
+		t.Fatal("graph has no node for fixture Bad")
+	}
+	edge := false
+	for _, site := range node.Sites {
+		if site.Callee == forEach {
+			edge = true
+		}
+	}
+	if !edge {
+		t.Fatalf("Bad's call sites do not include par.ForEach; got %d site(s)", len(node.Sites))
+	}
+
+	callers := g.Callers(forEach)
+	found := false
+	for _, c := range callers {
+		if c.Func == bad {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Callers(par.ForEach) does not include fixture Bad (%d caller(s))", len(callers))
+	}
+}
+
+// TestCtxVariant checks sibling resolution on the real par package:
+// ForEach pairs with ForEachCtx, and functions already named *Ctx have
+// no variant.
+func TestCtxVariant(t *testing.T) {
+	l := testLoader(t)
+	parPkg, err := l.Load("d2t2/internal/par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	forEach := parPkg.Types.Scope().Lookup("ForEach").(*types.Func)
+	sib := CtxVariant(forEach)
+	if sib == nil || sib.Name() != "ForEachCtx" {
+		t.Fatalf("CtxVariant(ForEach) = %v, want ForEachCtx", sib)
+	}
+	if CtxParamIndex(sib) != 0 {
+		t.Fatalf("CtxParamIndex(ForEachCtx) = %d, want 0", CtxParamIndex(sib))
+	}
+	if got := CtxVariant(sib); got != nil {
+		t.Fatalf("CtxVariant(ForEachCtx) = %v, want nil (already a Ctx function)", got)
+	}
+}

@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// counterSnakeRe is the counter naming convention: lower snake_case,
+// starting with a letter.
+var counterSnakeRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// expvarRegistrars are the expvar package functions that register a
+// name in the process-global registry (a duplicate name panics).
+var expvarRegistrars = map[string]bool{
+	"NewInt":    true,
+	"NewFloat":  true,
+	"NewMap":    true,
+	"NewString": true,
+	"Publish":   true,
+}
+
+// expvarMapMethods are the expvar.Map methods that take a counter name.
+var expvarMapMethods = map[string]bool{
+	"Add":      true,
+	"AddFloat": true,
+	"Set":      true,
+	"Get":      true,
+	"Delete":   true,
+}
+
+// CounterName enforces the observability contract the serve tests and
+// dashboards difference against: expvar counters are registered once at
+// init (process-global registration from request paths panics on the
+// second server in a process), named in snake_case, and never named
+// dynamically — a name computed per call can mint unbounded expvar
+// entries and breaks the "explicit zeros, pre-registered" discipline of
+// internal/serve's metrics surface.
+//
+// Name arguments are checked at every call whose callee is a counter
+// sink: the expvar registrars, expvar.Map methods, and — found by a
+// fixpoint over the run's call graph — any module function that
+// forwards a string parameter into another sink's name position (so
+// metrics.add/get wrappers and their callers are checked too).
+var CounterName = &Analyzer{
+	Name: "countername",
+	Doc:  "flags expvar registration outside init/main, non-snake_case counter names, and dynamically built counter names",
+	Run:  runCounterName,
+}
+
+func runCounterName(p *Pass) {
+	sinks := counterSinks(p.Graph)
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				atInit := d.Name.Name == "init" && d.Recv == nil
+				p.checkCounterCalls(d.Body, sinks, atInit)
+			case *ast.GenDecl:
+				// Package-level initializers run once before main: a
+				// registration here is fine, names are still checked.
+				p.checkCounterCalls(d, sinks, true)
+			}
+		}
+	}
+}
+
+func (p *Pass) checkCounterCalls(root ast.Node, sinks map[*types.Func]int, atInit bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := CalleeOf(p.Info, call)
+		if callee == nil {
+			return true
+		}
+		idx, registers := counterSinkIndex(callee, sinks)
+		if idx < 0 {
+			return true
+		}
+		if registers && !atInit && p.Pkg.Name() != "main" {
+			p.ReportNodef(call, "expvar.%s outside init or package main registers in the process-global registry per call; register counters once at init (a duplicate name panics)", callee.Name())
+		}
+		if idx < len(call.Args) {
+			p.checkCounterNameArg(call.Args[idx])
+		}
+		return true
+	})
+}
+
+// checkCounterNameArg applies the naming rules to the expression in a
+// sink's name position: constant names must be snake_case; concatenated
+// or call-built names are dynamic and flagged; identifiers and indexed
+// loads are assumed to come from a pre-registered name list (the
+// counterNames/latencyBucketNames pattern in internal/serve).
+func (p *Pass) checkCounterNameArg(arg ast.Expr) {
+	for {
+		paren, ok := arg.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		arg = paren.X
+	}
+	if tv, ok := p.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		name := constant.StringVal(tv.Value)
+		if !counterSnakeRe.MatchString(name) {
+			p.ReportNodef(arg, "counter name %q is not snake_case; counters are named [a-z][a-z0-9_]* so dashboards and tests can reference them verbatim", name)
+		}
+		return
+	}
+	switch arg.(type) {
+	case *ast.BinaryExpr:
+		p.ReportNodef(arg, "counter name is concatenated at the call site; dynamic names mint unbounded expvar entries — build the fixed name set once at init and index into it")
+	case *ast.CallExpr:
+		p.ReportNodef(arg, "counter name is computed by a call at the call site; dynamic names mint unbounded expvar entries — build the fixed name set once at init and index into it")
+	}
+}
+
+// counterSinkIndex returns the name-parameter index of callee when it
+// is a counter sink, and whether the sink registers a process-global
+// name. Non-sinks return -1.
+func counterSinkIndex(callee *types.Func, sinks map[*types.Func]int) (idx int, registers bool) {
+	if callee.Pkg() != nil && callee.Pkg().Path() == "expvar" {
+		sig, _ := callee.Type().(*types.Signature)
+		if sig != nil && sig.Recv() == nil && expvarRegistrars[callee.Name()] {
+			return 0, true
+		}
+		if sig != nil && sig.Recv() != nil && expvarMapMethods[callee.Name()] && isExpvarMap(sig.Recv().Type()) {
+			return 0, false
+		}
+		return -1, false
+	}
+	if i, ok := sinks[callee.Origin()]; ok {
+		return i, false
+	}
+	return -1, false
+}
+
+func isExpvarMap(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "expvar" && obj.Name() == "Map"
+}
+
+// counterSinks finds, by fixpoint over the call graph, module functions
+// that forward one of their string parameters into the name position of
+// a known sink: metrics.add(name, delta) forwards into expvar.Map.Add,
+// Server.Metric(name) into metrics.get, and so on. The returned map
+// gives each such function its name-parameter index.
+func counterSinks(g *CallGraph) map[*types.Func]int {
+	sinks := map[*types.Func]int{}
+	if g == nil {
+		return sinks
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range g.Nodes() {
+			if _, done := sinks[node.Func]; done {
+				continue
+			}
+			sig, ok := node.Func.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			for _, site := range node.Sites {
+				idx, _ := counterSinkIndex(site.Callee, sinks)
+				if idx < 0 || idx >= len(site.Call.Args) {
+					continue
+				}
+				arg := site.Call.Args[idx]
+				id, ok := arg.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := node.Pkg.Info.Uses[id]
+				if obj == nil {
+					continue
+				}
+				for i := 0; i < sig.Params().Len(); i++ {
+					if sig.Params().At(i) == obj {
+						sinks[node.Func] = i
+						changed = true
+						break
+					}
+				}
+				if _, done := sinks[node.Func]; done {
+					break
+				}
+			}
+		}
+	}
+	return sinks
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// TextEdit replaces the byte range [Start, End) of Filename with
+// NewText. Offsets are byte offsets into the file as parsed (the
+// token.Position.Offset of the edited nodes), so edits stay valid only
+// until the file changes — d2t2vet computes and applies them in one run.
+type TextEdit struct {
+	Filename string `json:"filename"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	NewText  string `json:"new_text"`
+}
+
+// SuggestedFix is a mechanical rewrite attached to a Diagnostic. All
+// edits of one fix apply atomically: if any edit conflicts with an
+// already-applied fix, the whole fix is skipped.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// ApplyFixes applies the suggested fixes of the given diagnostics to the
+// files on disk. Fixes are applied in diagnostic order; a fix whose
+// edits overlap an earlier fix's edits is skipped (re-running d2t2vet
+// picks it up against the rewritten source). It returns the filenames
+// that changed, the number of fixes applied, and the number skipped.
+func ApplyFixes(diags []Diagnostic) (changed []string, applied, skipped int, err error) {
+	// Load each touched file once.
+	srcs := map[string][]byte{}
+	load := func(name string) error {
+		if _, ok := srcs[name]; ok {
+			return nil
+		}
+		b, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		srcs[name] = b
+		return nil
+	}
+
+	type span struct{ start, end int }
+	taken := map[string][]span{}
+	overlaps := func(name string, start, end int) bool {
+		for _, s := range taken[name] {
+			if start < s.end && s.start < end {
+				return true
+			}
+		}
+		return false
+	}
+
+	var accepted []TextEdit
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			continue
+		}
+		ok := true
+		for _, e := range d.Fix.Edits {
+			if err := load(e.Filename); err != nil {
+				return nil, applied, skipped, err
+			}
+			if e.Start < 0 || e.End < e.Start || e.End > len(srcs[e.Filename]) {
+				ok = false
+				break
+			}
+			if overlaps(e.Filename, e.Start, e.End) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			skipped++
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			taken[e.Filename] = append(taken[e.Filename], span{e.Start, e.End})
+			accepted = append(accepted, e)
+		}
+		applied++
+	}
+	if applied == 0 {
+		return nil, 0, skipped, nil
+	}
+
+	// Group accepted edits by file and apply back-to-front so earlier
+	// offsets stay valid.
+	byFile := map[string][]TextEdit{}
+	for _, e := range accepted {
+		byFile[e.Filename] = append(byFile[e.Filename], e)
+	}
+	for name, edits := range byFile {
+		out, err := applyEdits(srcs[name], edits)
+		if err != nil {
+			return nil, applied, skipped, fmt.Errorf("analysis: fixing %s: %w", name, err)
+		}
+		if err := os.WriteFile(name, out, 0o644); err != nil {
+			return nil, applied, skipped, err
+		}
+		changed = append(changed, name)
+	}
+	sort.Strings(changed)
+	return changed, applied, skipped, nil
+}
+
+// applyEdits applies non-overlapping edits to src and returns the
+// rewritten bytes.
+func applyEdits(src []byte, edits []TextEdit) ([]byte, error) {
+	sorted := append([]TextEdit(nil), edits...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start > sorted[j].Start })
+	out := append([]byte(nil), src...)
+	prevStart := len(src) + 1
+	for _, e := range sorted {
+		if e.End > prevStart {
+			return nil, fmt.Errorf("overlapping edits at offset %d", e.Start)
+		}
+		prevStart = e.Start
+		next := make([]byte, 0, len(out)+len(e.NewText)-(e.End-e.Start))
+		next = append(next, out[:e.Start]...)
+		next = append(next, e.NewText...)
+		next = append(next, out[e.End:]...)
+		out = next
+	}
+	return out, nil
+}

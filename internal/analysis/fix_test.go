@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestApplyFixesRewritesCtxCalls runs the -fix pipeline end to end: copy
+// the ctxfix fixture into a throwaway module, collect ctxpropagation
+// findings, apply their suggested fixes, and prove the rewritten source
+// type-checks with zero remaining findings.
+func TestApplyFixesRewritesCtxCalls(t *testing.T) {
+	tmp := t.TempDir()
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "ctxfix", "ctxfix.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "ctxfix.go"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), []byte("module fixmod\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loadAndRun := func() []Diagnostic {
+		l, err := NewLoader(tmp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := l.Load("fixmod")
+		if err != nil {
+			t.Fatalf("rewritten fixture fails to load: %v", err)
+		}
+		return Run(pkg, []*Analyzer{CtxPropagation})
+	}
+
+	diags := loadAndRun()
+	if len(diags) != 2 {
+		t.Fatalf("want 2 findings before the fix (Caller and CallerArgless), got:\n%s", formatDiags(diags))
+	}
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			t.Fatalf("finding carries no suggested fix: %s", d)
+		}
+	}
+
+	changed, applied, skipped, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 2 || skipped != 0 {
+		t.Fatalf("ApplyFixes applied=%d skipped=%d, want 2/0", applied, skipped)
+	}
+	if len(changed) != 1 || filepath.Base(changed[0]) != "ctxfix.go" {
+		t.Fatalf("changed files = %v", changed)
+	}
+
+	fixed, err := os.ReadFile(filepath.Join(tmp, "ctxfix.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DoCtx(ctx, n)", "NowCtx(ctx)"} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("rewritten source missing %q:\n%s", want, fixed)
+		}
+	}
+
+	// The fixed tree must type-check (Load re-parses from disk) and be
+	// clean under the same analyzer.
+	if diags := loadAndRun(); len(diags) != 0 {
+		t.Fatalf("findings remain after -fix:\n%s", formatDiags(diags))
+	}
+}
+
+// TestApplyEditsOverlap checks the conflict policy: of two fixes
+// touching the same byte range, one applies and one is skipped whole.
+func TestApplyEditsOverlap(t *testing.T) {
+	tmp := t.TempDir()
+	file := filepath.Join(tmp, "x.txt")
+	if err := os.WriteFile(file, []byte("abcdef"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := []Diagnostic{
+		{Fix: &SuggestedFix{Edits: []TextEdit{{Filename: file, Start: 1, End: 3, NewText: "XY"}}}},
+		{Fix: &SuggestedFix{Edits: []TextEdit{{Filename: file, Start: 2, End: 4, NewText: "Z"}}}},
+	}
+	changed, applied, skipped, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 || skipped != 1 || len(changed) != 1 {
+		t.Fatalf("applied=%d skipped=%d changed=%v, want 1/1/[x.txt]", applied, skipped, changed)
+	}
+	got, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aXYdef" {
+		t.Fatalf("after overlap resolution got %q, want %q", got, "aXYdef")
+	}
+}

@@ -13,8 +13,14 @@ import (
 //
 // The comment suppresses the named checks on its own line and on the
 // line directly below (so it can sit above the offending statement).
-// The justification is not parsed but is required by convention; the
-// review gate is human.
+// When the annotated line starts a multi-line statement or declaration
+// without a nested block — a composite literal in a var declaration or
+// assignment, a multi-line call — the suppression covers the construct's
+// full extent, so findings reported on its later lines are silenced by
+// the one annotation. Block-bearing statements (if/for/func bodies)
+// keep the two-line rule: an ignore above an if statement must not
+// blanket its whole body. The justification is not parsed but is
+// required by convention; the review gate is human.
 const ignorePrefix = "//d2t2:ignore"
 
 type ignoreSet struct {
@@ -25,6 +31,7 @@ type ignoreSet struct {
 func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
 	ig := &ignoreSet{byLine: map[string]map[string]bool{}}
 	for _, f := range files {
+		extents := blocklessExtents(fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := c.Text
@@ -34,18 +41,72 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
 				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
 				names, _, _ := strings.Cut(rest, " ")
 				pos := fset.Position(c.Pos())
+				// The annotation covers its own line, the next line, and —
+				// when either of those starts a blockless multi-line
+				// construct — every line through that construct's end.
+				endLine := pos.Line + 1
+				if e := extents[pos.Line]; e > endLine {
+					endLine = e
+				}
+				if e := extents[pos.Line+1]; e > endLine {
+					endLine = e
+				}
 				for _, name := range strings.Split(names, ",") {
 					name = strings.TrimSpace(name)
 					if name == "" {
 						continue
 					}
-					ig.add(pos.Filename, pos.Line, name)
-					ig.add(pos.Filename, pos.Line+1, name)
+					for line := pos.Line; line <= endLine; line++ {
+						ig.add(pos.Filename, line, name)
+					}
 				}
 			}
 		}
 	}
 	return ig
+}
+
+// blocklessExtents maps the start line of every multi-line statement,
+// declaration or spec that carries no nested statement block (var
+// declarations, assignments, returns, expression statements, sends,
+// field declarations) to its end line. These are the constructs a
+// //d2t2:ignore annotation above them should cover in full; anything
+// with a block body is excluded so one annotation cannot silently
+// blanket dozens of unrelated statements.
+func blocklessExtents(fset *token.FileSet, f *ast.File) map[int]int {
+	extents := map[int]int{}
+	record := func(n ast.Node) {
+		// A construct that embeds a function literal (a par fan-out call,
+		// a handler registration) spans its closure's body; covering it
+		// from one annotation would blanket every statement inside. Those
+		// keep the two-line rule — annotate at the finding.
+		hasLit := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				hasLit = true
+				return false
+			}
+			return !hasLit
+		})
+		if hasLit {
+			return
+		}
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if end > start && end > extents[start] {
+			extents[start] = end
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.GenDecl, *ast.ValueSpec, *ast.TypeSpec,
+			*ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt,
+			*ast.SendStmt, *ast.IncDecStmt, *ast.DeclStmt, *ast.Field:
+			record(n)
+		}
+		return true
+	})
+	return extents
 }
 
 func (ig *ignoreSet) add(file string, line int, check string) {

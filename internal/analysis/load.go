@@ -171,9 +171,13 @@ func (l *Loader) hasGoFiles(dir string) bool {
 	}
 	for _, e := range entries {
 		n := e.Name()
-		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
-			return true
+		if e.IsDir() || !strings.HasSuffix(n, ".go") {
+			continue
 		}
+		if strings.HasSuffix(n, "_test.go") && !l.IncludeTests {
+			continue
+		}
+		return true
 	}
 	return false
 }

@@ -1,7 +1,9 @@
 package analysis
 
 import (
+	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -49,5 +51,55 @@ func TestLoadTagPairedPackage(t *testing.T) {
 	obj := p.Types.Scope().Lookup("Enabled")
 	if obj == nil {
 		t.Fatal("raceflag.Enabled not found")
+	}
+}
+
+// TestLoadGenericsFixture type-checks a fixture that declares its own
+// generic type and instantiates par's generic entry points, then runs
+// the full suite over it — instantiation must not confuse callee
+// resolution (CalleeOf normalizes through Origin).
+func TestLoadGenericsFixture(t *testing.T) {
+	l := testLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "generics"), "d2t2/internal/fixture_generics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Scope().Lookup("Zip") == nil {
+		t.Fatal("generic Zip not in package scope")
+	}
+	if diags := Run(pkg, Analyzers()); len(diags) != 0 {
+		t.Fatalf("generics fixture should be clean under the full suite, got:\n%s", formatDiags(diags))
+	}
+}
+
+// TestLoadTestOnlyPackage covers a package directory holding only
+// _test.go files: invisible by default, loadable with IncludeTests.
+func TestLoadTestOnlyPackage(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "testonly")
+
+	l1, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l1.LoadDir(dir, "d2t2/internal/fixture_testonly"); err == nil {
+		t.Fatal("LoadDir without IncludeTests succeeded on a test-only package; want 'no Go files'")
+	} else if !strings.Contains(err.Error(), "no Go files") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	l2, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.IncludeTests = true
+	pkg, err := l2.LoadDir(dir, "d2t2/internal/fixture_testonly")
+	if err != nil {
+		t.Fatalf("LoadDir with IncludeTests: %v", err)
+	}
+	if pkg.Types.Name() != "testonly" {
+		t.Fatalf("package name %q, want testonly", pkg.Types.Name())
+	}
+	if pkg.Types.Scope().Lookup("TestDouble") == nil {
+		t.Fatal("TestDouble not found in test-only package scope")
 	}
 }

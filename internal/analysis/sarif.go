@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+)
+
+// SARIF renders findings as a SARIF 2.1.0 log with one run, so CI can
+// upload the file via github/codeql-action/upload-sarif and render each
+// finding as an inline PR annotation. File URIs are made relative to
+// root (the module root in d2t2vet), which is what the upload action
+// expects when the workflow checks out the repository at the workspace
+// root.
+func SARIF(diags []Diagnostic, analyzers []*Analyzer, root string) ([]byte, error) {
+	type sMessage struct {
+		Text string `json:"text"`
+	}
+	type sRule struct {
+		ID               string   `json:"id"`
+		ShortDescription sMessage `json:"shortDescription"`
+	}
+	type sArtifactLocation struct {
+		URI string `json:"uri"`
+	}
+	type sRegion struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn,omitempty"`
+		EndLine     int `json:"endLine,omitempty"`
+		EndColumn   int `json:"endColumn,omitempty"`
+	}
+	type sPhysicalLocation struct {
+		ArtifactLocation sArtifactLocation `json:"artifactLocation"`
+		Region           sRegion           `json:"region"`
+	}
+	type sLocation struct {
+		PhysicalLocation sPhysicalLocation `json:"physicalLocation"`
+	}
+	type sResult struct {
+		RuleID    string      `json:"ruleId"`
+		RuleIndex int         `json:"ruleIndex"`
+		Level     string      `json:"level"`
+		Message   sMessage    `json:"message"`
+		Locations []sLocation `json:"locations"`
+	}
+	type sDriver struct {
+		Name           string  `json:"name"`
+		InformationURI string  `json:"informationUri,omitempty"`
+		Rules          []sRule `json:"rules"`
+	}
+	type sTool struct {
+		Driver sDriver `json:"driver"`
+	}
+	type sRun struct {
+		Tool    sTool     `json:"tool"`
+		Results []sResult `json:"results"`
+	}
+	type sLog struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []sRun `json:"runs"`
+	}
+
+	ruleIndex := map[string]int{}
+	rules := make([]sRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		ruleIndex[a.Name] = len(rules)
+		rules = append(rules, sRule{ID: a.Name, ShortDescription: sMessage{Text: a.Doc}})
+	}
+
+	results := make([]sResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := ruleIndex[d.Check]
+		if !ok {
+			// A finding from an analyzer outside the declared set still
+			// gets a rule so the log stays self-consistent.
+			idx = len(rules)
+			ruleIndex[d.Check] = idx
+			rules = append(rules, sRule{ID: d.Check, ShortDescription: sMessage{Text: d.Check}})
+		}
+		uri := d.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, uri); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+				uri = rel
+			}
+		}
+		region := sRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column}
+		if d.End.IsValid() && (d.End.Line > d.Pos.Line || (d.End.Line == d.Pos.Line && d.End.Column >= d.Pos.Column)) {
+			region.EndLine = d.End.Line
+			region.EndColumn = d.End.Column
+		}
+		results = append(results, sResult{
+			RuleID:    d.Check,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sMessage{Text: d.Message},
+			Locations: []sLocation{{
+				PhysicalLocation: sPhysicalLocation{
+					ArtifactLocation: sArtifactLocation{URI: filepath.ToSlash(uri)},
+					Region:           region,
+				},
+			}},
+		})
+	}
+
+	log := sLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sRun{{
+			Tool:    sTool{Driver: sDriver{Name: "d2t2vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}

@@ -1,0 +1,36 @@
+// Fixture for the countername analyzer: expvar registration discipline,
+// snake_case names, and dynamic-name bans, including sink discovery
+// through a module wrapper.
+package countername
+
+import (
+	"expvar"
+	"fmt"
+)
+
+var (
+	hits = expvar.NewInt("fixture_hits") // legal: package level, snake_case
+	m    = expvar.NewMap("fixture_counters")
+)
+
+var badName = expvar.NewInt("Fixture-Hits") // want "not snake_case"
+
+func init() {
+	expvar.Publish("fixture_depth", hits) // legal: init-time registration
+}
+
+func Record(kind string, n int64) {
+	late := expvar.NewInt("late_counter") // want "outside init"
+	_ = late
+	m.Add("req_"+kind, 1)                 // want "concatenated"
+	m.Add(fmt.Sprintf("req_%s", kind), 1) // want "computed by a call"
+	m.Add("requests_total", n)            // legal: constant snake_case
+	bump("Bad.Name", 1)                   // want "not snake_case"
+	bump("good_name", 1)                  // legal: wrapper sink, clean name
+}
+
+// bump forwards its name parameter into expvar.Map.Add, so the call
+// graph fixpoint marks it a counter sink and checks its callers.
+func bump(name string, delta int64) {
+	m.Add(name, delta)
+}

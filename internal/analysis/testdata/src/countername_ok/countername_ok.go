@@ -1,0 +1,28 @@
+// Negative fixture for countername: indexed pre-registered names,
+// identifier forwarding, and a justified suppression produce zero
+// findings.
+package countername_ok
+
+import "expvar"
+
+var panes = expvar.NewMap("dashboard_panes")
+
+var paneNames = [...]string{"optimize", "ingest", "stats"}
+
+// Touch indexes into a fixed name list — the pattern internal/serve
+// uses for latency buckets.
+func Touch(i int) {
+	panes.Add(paneNames[i], 1)
+}
+
+// Bump forwards an identifier; callers own the constant.
+func Bump(name string) {
+	panes.Add(name, 1)
+}
+
+// Legacy keeps a dotted name one dashboard still references; the
+// suppression records why the convention is waived.
+func Legacy() {
+	//d2t2:ignore countername grafana panel pins the dotted name until Q4 migration
+	panes.Add("legacy.pane", 1)
+}

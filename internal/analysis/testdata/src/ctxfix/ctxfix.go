@@ -1,0 +1,34 @@
+// Fixture for d2t2vet -fix: the Do call inside Caller drops the
+// in-scope context; the suggested fix rewrites it to the DoCtx sibling.
+// fix_test copies this directory into a temp module, applies the fix,
+// and re-typechecks the result.
+package ctxfix
+
+import "context"
+
+func DoCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n + 1
+}
+
+func Do(n int) int {
+	return DoCtx(context.Background(), n)
+}
+
+func Caller(ctx context.Context, n int) int {
+	return Do(n)
+}
+
+func CallerArgless(ctx context.Context) int {
+	_ = ctx
+	return Now()
+}
+
+func NowCtx(ctx context.Context) int {
+	_ = ctx
+	return 7
+}
+
+func Now() int {
+	return NowCtx(context.Background())
+}

@@ -1,0 +1,56 @@
+// Fixture for the ctxpropagation analyzer: dropped contexts, fresh root
+// contexts in library code, and non-wrapper Ctx siblings.
+package ctxprop
+
+import "context"
+
+// SlowCtx is the cancellable twin; Slow below duplicates logic instead
+// of delegating, so it is flagged.
+func SlowCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n * 2
+}
+
+func Slow(n int) int { // want "not the documented wrapper"
+	x := n * 2
+	return SlowCtx(context.Background(), x) // want "detaches this path"
+}
+
+// RunCtx / Run form the documented wrapper pair: Run's Background() is
+// the one licensed fresh root.
+func RunCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n + 1
+}
+
+func Run(n int) int {
+	return RunCtx(context.Background(), n)
+}
+
+// Handle has a ctx in scope and calls around Slow's cancellable twin.
+func Handle(ctx context.Context, n int) int {
+	_ = ctx
+	return Slow(n) // want "drops the in-scope context"
+}
+
+// Detached mints a root context mid-path with no wrapper shape at all.
+func Detached(n int) int {
+	ctx := context.TODO() // want "context.TODO"
+	return RunCtx(ctx, n)
+}
+
+// DropsDespiteShape looks like the wrapper, but a function with its own
+// ctx parameter is never licensed to mint a fresh root.
+func DropsDespiteShape(ctx context.Context, n int) int {
+	_ = ctx
+	return RunCtx(context.Background(), n) // want "detaches this path"
+}
+
+// Rebound: a nested closure introduces its own ctx parameter, which
+// becomes the context the fix should thread.
+func Rebound(ctx context.Context) func(context.Context) int {
+	return func(inner context.Context) int {
+		_ = inner
+		return Slow(3) // want "drops the in-scope context"
+	}
+}

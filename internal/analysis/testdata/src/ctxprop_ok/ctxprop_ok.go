@@ -1,0 +1,42 @@
+// Negative fixture for ctxpropagation: the wrapper pattern, threaded
+// contexts, and a justified suppression produce zero findings.
+package ctxprop_ok
+
+import "context"
+
+func SeedCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// Seed is the documented non-ctx wrapper: single delegating return.
+func Seed(n int) int {
+	return SeedCtx(context.Background(), n)
+}
+
+// warm deliberately detaches a fire-and-forget path; the suppression
+// carries the justification.
+func warm(ctx context.Context, n int) int {
+	_ = ctx
+	//d2t2:ignore ctxpropagation cache warm outlives the request on purpose
+	bg := context.Background()
+	return SeedCtx(bg, n)
+}
+
+// threaded does it right: the in-scope ctx reaches the Ctx sibling.
+func threaded(ctx context.Context, n int) int {
+	return SeedCtx(ctx, warm(ctx, n))
+}
+
+// SeedWorkers is the middle rung of a convenience chain
+// (Seed → SeedWorkers → seedWorkersCtx): a delegating wrapper whose
+// callee is not its own name-sibling. Its fresh root is licensed by the
+// delegation shape.
+func SeedWorkers(n, workers int) int {
+	return seedWorkersCtx(context.Background(), n, workers)
+}
+
+func seedWorkersCtx(ctx context.Context, n, workers int) int {
+	_ = ctx
+	return n * workers
+}

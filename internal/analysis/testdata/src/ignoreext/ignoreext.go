@@ -1,0 +1,45 @@
+// Fixture for suppression-extent rules: an annotation above a
+// multi-line statement covers the statement's whole extent, but never
+// reaches into a function literal's body.
+package ignoreext
+
+import (
+	"expvar"
+
+	"d2t2/internal/par"
+)
+
+var kinds = expvar.NewMap("fixture_kinds")
+
+// covered: the ignore sits above a call split across lines; the flagged
+// concatenation is two lines below the annotation but inside the
+// statement's extent, so it is suppressed.
+func covered(kind string) {
+	//d2t2:ignore countername kinds are a closed enum validated upstream
+	kinds.Add(
+		"kind_"+kind,
+		1,
+	)
+}
+
+// uncovered: the same write without an annotation must still be flagged.
+func uncovered(kind string) {
+	kinds.Add(
+		"kind_"+kind, // the surviving countername finding
+		1,
+	)
+}
+
+// closureNotBlanketed: the statement extent rule must not let an
+// annotation above a par fan-out swallow findings inside the closure
+// body — the write below survives.
+func closureNotBlanketed(n int) error {
+	total := 0
+	//d2t2:ignore reductionorder annotation on the call must not blanket the closure
+	err := par.ForEach(2, n, func(i int) error {
+		total += i // the surviving reductionorder finding
+		return nil
+	})
+	_ = total
+	return err
+}

@@ -1,0 +1,48 @@
+// Fixture for the reductionorder analyzer: schedule-dependent writes
+// inside par fan-out closures.
+package reductionorder
+
+import "d2t2/internal/par"
+
+// Bad exercises the captured-scalar, captured-map, and off-index
+// slice-write rules.
+func Bad(n int) ([]int, map[int]int, error) {
+	var all []int
+	seen := map[int]int{}
+	total := 0
+	out := make([]int, n)
+	k := 0
+	err := par.ForEach(4, n, func(i int) error {
+		all = append(all, i) // want "assignment to captured"
+		seen[i] = i          // want "write to captured map"
+		total++              // want "assignment to captured"
+		out[k] = i           // want "independent of the claimed item"
+		out[i] = i           // legal: the claimed index's slot
+		j := i * 2
+		out[j%n] = j // legal: index derived from a closure local
+		return nil
+	})
+	_ = total
+	return all, seen, err
+}
+
+type acc struct{ sum int }
+
+// BadField writes a field through a captured struct.
+func BadField(n int) error {
+	var a acc
+	err := par.ForEach(2, n, func(i int) error {
+		a.sum += i // want "field write through captured"
+		return nil
+	})
+	_ = a
+	return err
+}
+
+// BadPtr writes through a captured pointer.
+func BadPtr(n int, p *int) error {
+	return par.ForEach(2, n, func(i int) error {
+		*p = i // want "write through captured pointer"
+		return nil
+	})
+}

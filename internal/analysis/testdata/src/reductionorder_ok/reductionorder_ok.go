@@ -1,0 +1,51 @@
+// Negative fixture for reductionorder: per-index slots, post-join
+// reductions, and a justified suppression produce zero findings.
+package reductionorder_ok
+
+import (
+	"sync"
+
+	"d2t2/internal/par"
+)
+
+// Sum reduces after the join — the deterministic shape the analyzer
+// pushes toward.
+func Sum(xs []int) (int, error) {
+	parts, err := par.Map(4, len(xs), func(i int) (int, error) {
+		return xs[i] * xs[i], nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += p
+	}
+	return total, nil
+}
+
+// Slots writes only into the claimed index's slot.
+func Slots(xs []int) ([]int, error) {
+	out := make([]int, len(xs))
+	err := par.ForEach(4, len(xs), func(i int) error {
+		v := xs[i]
+		out[i] = v * v
+		return nil
+	})
+	return out, err
+}
+
+// Locked documents a commutative mutex-guarded sum; order independence
+// is the justification the suppression records.
+func Locked(n int) (int, error) {
+	var mu sync.Mutex
+	total := 0
+	err := par.ForEach(4, n, func(i int) error {
+		mu.Lock()
+		//d2t2:ignore reductionorder commutative integer sum under mu
+		total += i
+		mu.Unlock()
+		return nil
+	})
+	return total, err
+}

@@ -1,0 +1,14 @@
+// Loader fixture: a package whose only files are _test.go files. The
+// loader must surface it when IncludeTests is set and report "no Go
+// files" otherwise.
+package testonly
+
+import "testing"
+
+func double(n int) int { return n * 2 }
+
+func TestDouble(t *testing.T) {
+	if double(2) != 4 {
+		t.Fatal("double(2) != 4")
+	}
+}

@@ -7,6 +7,13 @@
 // crashing sibling goroutines mid-merge. Every goroutine is joined
 // before a call returns — no launch here outlives its caller (the
 // goroutinehygiene analyzer checks the join signals).
+//
+// Two closure contracts are machine-checked by cmd/d2t2vet: the
+// reductionorder analyzer flags schedule-dependent writes to captured
+// state inside ForEach*/Map* closures (write into the claimed index's
+// slot, reduce after the join), and the scratchescape analyzer flags
+// scratch values of the *Scratch variants escaping their closure (see
+// ForEachScratch for the ownership rules).
 package par
 
 import (
@@ -76,9 +83,15 @@ func nopScratch() struct{} { return struct{}{} }
 // (reset with clear(), not reallocated) across items. Because the
 // item→worker schedule varies run to run, fn MUST NOT let per-item
 // results depend on scratch contents left by a previous item: scratch is
-// for capacity reuse, never for value reuse. Results written into
-// per-index state remain byte-identical at any worker count exactly as
-// with ForEach.
+// for capacity reuse, never for value reuse. In particular, references
+// derived from the scratch (the value itself, fields, elements,
+// sub-slices) must not be stored to captured variables, returned as an
+// item's result, or sent on channels — copy into per-index state
+// instead. The scratchescape analyzer enforces this; the one sanctioned
+// leak is in newScratch itself, which may register the scratch it
+// creates (under a lock) for a commutative post-join merge, as the
+// stats collector does. Results written into per-index state remain
+// byte-identical at any worker count exactly as with ForEach.
 func ForEachScratch[S any](workers, n int, newScratch func() S, fn func(i int, scratch S) error) error {
 	return forEachScratchCtx(context.Background(), workers, n, newScratch, fn)
 }

@@ -38,6 +38,18 @@ var counterNames = []string{
 // optimize-latency histogram; the final bucket is unbounded.
 var latencyBucketsMs = []int64{1, 5, 25, 100, 500, 2500}
 
+// latencyBucketNames is the fixed counter-name set of the histogram,
+// built once at init and indexed in lockstep with latencyBucketsMs —
+// names handed to expvar are never computed per call (countername
+// enforces this).
+var latencyBucketNames = func() []string {
+	names := make([]string, len(latencyBucketsMs))
+	for i, b := range latencyBucketsMs {
+		names[i] = latencyBucket(b)
+	}
+	return names
+}()
+
 // metrics is a per-server expvar surface. The map is Init'd but never
 // expvar.Publish'd under a fixed name: tests start many servers in one
 // process and a global Publish of a duplicate name panics. cmd/d2t2d
@@ -51,13 +63,16 @@ func newMetrics() *metrics {
 	for _, name := range counterNames {
 		m.vars.Add(name, 0)
 	}
-	for _, b := range latencyBucketsMs {
-		m.vars.Add(latencyBucket(b), 0)
+	for _, name := range latencyBucketNames {
+		m.vars.Add(name, 0)
 	}
 	m.vars.Add("optimize_latency_ms_gt_2500", 0)
 	return m
 }
 
+// latencyBucket formats one histogram counter name. Production code
+// goes through latencyBucketNames; this stays exported-to-tests so
+// expectations can name buckets without duplicating the format.
 func latencyBucket(upperMs int64) string {
 	return fmt.Sprintf("optimize_latency_ms_le_%d", upperMs)
 }
@@ -70,9 +85,9 @@ func (m *metrics) add(name string, delta int64) { m.vars.Add(name, delta) }
 func (m *metrics) observeLatency(d time.Duration) {
 	ms := d.Milliseconds()
 	hit := false
-	for _, b := range latencyBucketsMs {
+	for i, b := range latencyBucketsMs {
 		if ms <= b {
-			m.vars.Add(latencyBucket(b), 1)
+			m.vars.Add(latencyBucketNames[i], 1)
 			hit = true
 		}
 	}

@@ -73,6 +73,7 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func(ctx context.Co
 	// not take live followers down with it. Lifetime is bounded because
 	// every participant carries the server's RequestTimeout and the last
 	// one out cancels the flight.
+	//d2t2:ignore ctxpropagation flight outlives its leader by design; lifetime bounded by RequestTimeout
 	fctx, cancel := context.WithCancel(context.Background())
 	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	g.flights[key] = f
