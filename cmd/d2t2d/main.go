@@ -15,7 +15,16 @@
 //	POST /v1/predict              price one tile configuration
 //	GET  /v1/tensors/{id}/stats   collected statistics summary
 //	GET  /healthz                 liveness + version
+//	GET  /readyz                  readiness (503 while draining/degraded)
 //	GET  /debug/vars              expvar counters
+//
+// With -peers (plus -self-url and a shared -cluster-secret) the daemon
+// joins a static cluster: nodes agree on a consistent-hash owner per
+// artifact, fetch warm artifacts from peers before recomputing, forward
+// cold optimize/predict requests to the owner so identical cold work
+// runs once fleet-wide, and replicate warm artifacts to ring
+// successors. Peer traffic rides authenticated /internal/v1/* routes on
+// the same listener.
 //
 // With -debug-addr a second, loopback-only listener additionally serves
 // net/http/pprof profiles and the full expvar surface; it is off by
@@ -35,6 +44,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,6 +57,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "d2t2d:", err)
 		os.Exit(1)
 	}
+}
+
+// splitPeers parses the -peers flag: comma-separated base URLs, blanks
+// dropped so a trailing comma is harmless. Validation (scheme, host,
+// duplicates) happens in serve.Config.validate.
+func splitPeers(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func run(args []string) error {
@@ -62,6 +88,11 @@ func run(args []string) error {
 	idleTimeout := fs.Duration("idle-timeout", 0, "keep-alive idle connection bound (0 = default 2m)")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain bound")
 	debugAddr := fs.String("debug-addr", "", "debug listen address for net/http/pprof + expvar (empty = disabled; bind loopback, e.g. 127.0.0.1:8422)")
+	peers := fs.String("peers", "", "comma-separated peer base URLs (e.g. http://10.0.0.2:8421,http://10.0.0.3:8421); non-empty turns on clustering")
+	selfURL := fs.String("self-url", "", "this node's own base URL as peers reach it (required with -peers)")
+	clusterSecret := fs.String("cluster-secret", "", "shared secret authenticating internal peer routes (required with -peers; prefer D2T2_CLUSTER_SECRET)")
+	replication := fs.Int("replication", 0, "ring successors each warm artifact replicates to (0 = default 1; at most the peer count)")
+	peerTimeout := fs.Duration("peer-timeout", 0, "per-peer-call bound: artifact fetch, forward, replica push, ping (0 = default 5s)")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +102,13 @@ func run(args []string) error {
 		return nil
 	}
 
+	// The secret is accepted from the environment too, so process lists
+	// (ps, /proc cmdline) need not carry it; the flag wins when both are
+	// set, for local experiments.
+	secret := *clusterSecret
+	if secret == "" {
+		secret = os.Getenv("D2T2_CLUSTER_SECRET")
+	}
 	srv, err := serve.New(serve.Config{
 		CacheDir:          *cacheDir,
 		MemCacheBytes:     int64(*memMB) << 20,
@@ -80,6 +118,11 @@ func run(args []string) error {
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,
 		IdleTimeout:       *idleTimeout,
+		Peers:             splitPeers(*peers),
+		SelfURL:           *selfURL,
+		ClusterSecret:     secret,
+		Replication:       *replication,
+		PeerTimeout:       *peerTimeout,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// maxPeerBody bounds one peer response read. Artifacts are snapshots
+// the sender already held in memory; anything past this is a protocol
+// violation, not a bigger tensor.
+const maxPeerBody = 1 << 30
+
+// Client speaks the internal peer protocol. Every method takes a
+// context first and additionally bounds each network attempt with the
+// configured per-attempt timeout, so one wedged peer costs at most
+// that long before the caller's fallback ladder moves on. A Client is
+// safe for concurrent use.
+type Client struct {
+	httpc   *http.Client
+	secret  string
+	timeout time.Duration
+}
+
+// NewClient builds a peer client carrying the shared cluster secret.
+// timeout bounds each single attempt (<= 0 means 5 s).
+func NewClient(secret string, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &Client{
+		// Transport defaults (connection pooling, keep-alive) are what we
+		// want between long-lived peers; the per-attempt bound comes from
+		// the context so it composes with request deadlines.
+		httpc:   &http.Client{},
+		secret:  secret,
+		timeout: timeout,
+	}
+}
+
+// artifactURL builds the internal artifact route for key on peer.
+func artifactURL(peer, key string) string {
+	return peer + "/internal/v1/artifact/" + url.PathEscape(key)
+}
+
+// FetchArtifact asks peer for the artifact under key, verifying the
+// frame CRC and that the peer answered for the requested key. A clean
+// peer-side miss returns ErrNotFound; transport and protocol failures
+// return their own errors so callers can count them apart.
+func (c *Client) FetchArtifact(ctx context.Context, peer, key string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, artifactURL(peer, key), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(SecretHeader, c.secret)
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, ErrNotFound
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: peer %s artifact fetch: status %d", peer, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+	if err != nil {
+		return nil, err
+	}
+	gotKey, payload, err := DecodeFrame(body)
+	if err != nil {
+		return nil, err
+	}
+	if gotKey != key {
+		return nil, fmt.Errorf("cluster: peer %s answered for key %q, asked %q", peer, gotKey, key)
+	}
+	return payload, nil
+}
+
+// PushArtifact replicates the artifact under key to peer (best-effort
+// PUT; the receiver re-verifies the frame CRC and the snapshot's own
+// section CRCs before admitting it).
+func (c *Client) PushArtifact(ctx context.Context, peer, key string, payload []byte) error {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	frame := EncodeFrame(key, payload)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, artifactURL(peer, key), bytes.NewReader(frame))
+	if err != nil {
+		return err
+	}
+	req.Header.Set(SecretHeader, c.secret)
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("cluster: peer %s artifact push: status %d", peer, resp.StatusCode)
+	}
+	return nil
+}
+
+// ForwardResult is one forwarded request's outcome as the owner
+// produced it.
+type ForwardResult struct {
+	// Status is the owner's HTTP status.
+	Status int
+	// Body is the owner's exact response bytes — for a 200 these are
+	// the fleet-canonical bytes every node serves for the key.
+	Body []byte
+}
+
+// Forward relays one cold request body to the owner peer's internal
+// endpoint ("optimize" or "predict") and returns the owner's verbatim
+// answer. The forwarded marker header stops the owner from forwarding
+// again. A non-nil error means the owner was never usefully reached
+// (transport failure, auth rejection); an HTTP-level failure from the
+// owner's pipeline comes back as a ForwardResult with its status.
+func (c *Client) Forward(ctx context.Context, peer, endpoint string, body []byte) (*ForwardResult, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		peer+"/internal/v1/"+endpoint, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(SecretHeader, c.secret)
+	req.Header.Set(ForwardedHeader, "1")
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusForbidden {
+		return nil, fmt.Errorf("cluster: peer %s rejected internal auth", peer)
+	}
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+	if err != nil {
+		return nil, err
+	}
+	return &ForwardResult{Status: resp.StatusCode, Body: respBody}, nil
+}
+
+// Ping probes peer's internal surface — the readiness check's
+// "ring formed with a reachable peer" signal.
+func (c *Client) Ping(ctx context.Context, peer string) error {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/internal/v1/ping", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(SecretHeader, c.secret)
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: peer %s ping: status %d", peer, resp.StatusCode)
+	}
+	return nil
+}

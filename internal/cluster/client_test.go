@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+const testSecret = "unit-secret"
+
+// peerStub is a minimal internal-surface peer for client tests.
+func peerStub(t *testing.T, artifacts map[string][]byte, pushed map[string][]byte) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	auth := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.Header.Get(SecretHeader) != testSecret {
+				w.WriteHeader(http.StatusForbidden)
+				return
+			}
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("GET /internal/v1/artifact/{key}", auth(func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		data, ok := artifacts[key]
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.Write(EncodeFrame(key, data))
+	}))
+	mux.HandleFunc("PUT /internal/v1/artifact/{key}", auth(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		key, payload, err := DecodeFrame(body)
+		if err != nil || key != r.PathValue("key") {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		pushed[key] = payload
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	mux.HandleFunc("POST /internal/v1/optimize", auth(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(ForwardedHeader) != "1" {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		w.Write(append([]byte("echo:"), body...))
+	}))
+	mux.HandleFunc("GET /internal/v1/ping", auth(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestClientFetchPushForwardPing(t *testing.T) {
+	key := "sha256:" + strings.Repeat("ef", 32)
+	artifacts := map[string][]byte{key: []byte("artifact-bytes")}
+	pushed := map[string][]byte{}
+	ts := peerStub(t, artifacts, pushed)
+	c := NewClient(testSecret, time.Second)
+	ctx := context.Background()
+
+	got, err := c.FetchArtifact(ctx, ts.URL, key)
+	if err != nil {
+		t.Fatalf("FetchArtifact: %v", err)
+	}
+	if !bytes.Equal(got, artifacts[key]) {
+		t.Fatalf("fetched %q, want %q", got, artifacts[key])
+	}
+
+	if _, err := c.FetchArtifact(ctx, ts.URL, "sha256:"+strings.Repeat("00", 32)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing artifact: err = %v, want ErrNotFound", err)
+	}
+
+	if err := c.PushArtifact(ctx, ts.URL, key, []byte("replica")); err != nil {
+		t.Fatalf("PushArtifact: %v", err)
+	}
+	if !bytes.Equal(pushed[key], []byte("replica")) {
+		t.Fatalf("push landed %q", pushed[key])
+	}
+
+	res, err := c.Forward(ctx, ts.URL, "optimize", []byte(`{"kernel":"x"}`))
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if res.Status != http.StatusOK || string(res.Body) != `echo:{"kernel":"x"}` {
+		t.Fatalf("forward result: %d %q", res.Status, res.Body)
+	}
+
+	if err := c.Ping(ctx, ts.URL); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+}
+
+func TestClientAuthRejected(t *testing.T) {
+	ts := peerStub(t, map[string][]byte{}, map[string][]byte{})
+	c := NewClient("wrong-secret", time.Second)
+	ctx := context.Background()
+	if _, err := c.FetchArtifact(ctx, ts.URL, "sha256:"+strings.Repeat("11", 32)); err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("bad secret fetch: err = %v, want auth failure", err)
+	}
+	if _, err := c.Forward(ctx, ts.URL, "optimize", []byte("{}")); err == nil {
+		t.Fatalf("bad secret forward accepted")
+	}
+	if err := c.Ping(ctx, ts.URL); err == nil {
+		t.Fatalf("bad secret ping accepted")
+	}
+}
+
+func TestClientCorruptFrameRejected(t *testing.T) {
+	key := "sha256:" + strings.Repeat("22", 32)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /internal/v1/artifact/{key}", func(w http.ResponseWriter, r *http.Request) {
+		frame := EncodeFrame(key, []byte("payload-bytes"))
+		frame[len(frame)-6] ^= 0xff // corrupt the payload under its CRC
+		w.Write(frame)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := NewClient(testSecret, time.Second)
+	if _, err := c.FetchArtifact(context.Background(), ts.URL, key); err == nil {
+		t.Fatalf("corrupt frame accepted")
+	}
+}
+
+func TestClientWrongKeyRejected(t *testing.T) {
+	asked := "sha256:" + strings.Repeat("33", 32)
+	other := "sha256:" + strings.Repeat("44", 32)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /internal/v1/artifact/{key}", func(w http.ResponseWriter, r *http.Request) {
+		w.Write(EncodeFrame(other, []byte("payload")))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := NewClient(testSecret, time.Second)
+	if _, err := c.FetchArtifact(context.Background(), ts.URL, asked); err == nil {
+		t.Fatalf("mismatched key accepted")
+	}
+}
+
+func TestClientHonorsContext(t *testing.T) {
+	blocked := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /internal/v1/artifact/{key}", func(w http.ResponseWriter, r *http.Request) {
+		<-blocked
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	defer close(blocked)
+	c := NewClient(testSecret, 10*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.FetchArtifact(ctx, ts.URL, "sha256:"+strings.Repeat("55", 32))
+	if err == nil {
+		t.Fatalf("blocked fetch succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("context deadline ignored: fetch took %v", elapsed)
+	}
+}

@@ -1,0 +1,38 @@
+// Package cluster runs N d2t2d nodes as one logical service. It owns
+// the three mechanisms the sharded deployment is built from:
+//
+//   - a consistent-hash Ring over static membership (virtual nodes,
+//     deterministic key→owner mapping for every content address —
+//     TensorID, StatsKey and ResponseKey all hash the same way);
+//   - a peer artifact Frame: raw D2T2SNAP/response bytes framed with
+//     internal/wire conventions and a CRC32 checked on receipt, so a
+//     byte flipped in transit is rejected before it can poison a
+//     peer's content-addressed store;
+//   - a Client for the authenticated internal HTTP surface every node
+//     mounts (/internal/v1/artifact/{key}, /internal/v1/optimize,
+//     /internal/v1/predict, /internal/v1/ping), with every call
+//     context-first so request deadlines reach the network.
+//
+// The package is deliberately transport-thin: membership is static
+// (the -peers flag on cmd/d2t2d), there is no gossip or failure
+// detector, and unreachable peers degrade to local work rather than
+// erroring — internal/serve owns that fallback ladder.
+package cluster
+
+import "errors"
+
+// ErrNotFound reports that a peer answered authoritatively that it does
+// not hold the requested artifact (HTTP 404) — a clean miss, distinct
+// from a transport or server failure.
+var ErrNotFound = errors.New("cluster: artifact not on peer")
+
+// SecretHeader carries the shared cluster secret on every internal
+// request; nodes reject internal calls whose header does not match
+// their configured secret.
+const SecretHeader = "X-D2T2-Cluster-Secret"
+
+// ForwardedHeader marks a request that already crossed one node
+// boundary. A node receiving it never forwards again, so a stale ring
+// (two nodes each believing the other owns a key) degrades to local
+// compute instead of a forwarding loop.
+const ForwardedHeader = "X-D2T2-Forwarded"

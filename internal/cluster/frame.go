@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"d2t2/internal/wire"
+)
+
+// frameMagic opens every peer artifact frame. Distinct from the
+// D2T2SNAP magic on purpose: a frame is a transport envelope, not an
+// artifact, and a peer handed a bare snapshot (or vice versa) should
+// fail loudly at the first eight bytes.
+const frameMagic = "D2T2PEER"
+
+// EncodeFrame wraps one artifact for peer transfer: the frame magic,
+// the content-address key and the raw artifact payload (both
+// length-prefixed per internal/wire), and a trailing CRC32 (IEEE) of
+// the payload. The key rides alongside so the receiver can verify it
+// was handed the artifact it asked for (or, on a replication push,
+// the artifact the path named), and the CRC covers the payload so
+// transit corruption is caught before the bytes reach a store.
+func EncodeFrame(key string, payload []byte) []byte {
+	buf := make([]byte, 0, len(frameMagic)+8+len(key)+8+len(payload)+4)
+	buf = append(buf, frameMagic...)
+	buf = wire.AppendBytes(buf, []byte(key))
+	buf = wire.AppendBytes(buf, payload)
+	return wire.AppendU32(buf, crc32.ChecksumIEEE(payload))
+}
+
+// DecodeFrame parses and verifies one peer artifact frame, returning
+// the key it names and a copy of the payload. The CRC mismatch path is
+// the contract the peer-fetch satellite tests pin: a flipped payload
+// byte must surface here, never as a poisoned cache entry.
+func DecodeFrame(b []byte) (key string, payload []byte, err error) {
+	if len(b) < len(frameMagic) {
+		return "", nil, fmt.Errorf("cluster: frame shorter than magic (%d bytes)", len(b))
+	}
+	if string(b[:len(frameMagic)]) != frameMagic {
+		return "", nil, fmt.Errorf("cluster: bad frame magic %q", b[:len(frameMagic)])
+	}
+	r := wire.NewReader(b[len(frameMagic):])
+	keyBytes := r.Bytes()
+	body := r.Bytes()
+	sum := r.U32()
+	if err := r.Err(); err != nil {
+		return "", nil, fmt.Errorf("cluster: malformed frame: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return "", nil, fmt.Errorf("cluster: %d trailing bytes after frame", r.Remaining())
+	}
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return "", nil, fmt.Errorf("cluster: frame CRC mismatch: stored %08x, computed %08x", sum, got)
+	}
+	// Copy out of the network buffer: the caller will retain the payload
+	// in its store, and the frame buffer is transport-owned.
+	return string(keyBytes), append([]byte(nil), body...), nil
+}

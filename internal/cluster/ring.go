@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"d2t2/internal/checked"
+)
+
+// DefaultVirtualNodes is the per-member virtual-node count used when a
+// Ring is built with vnodes <= 0. 64 points per member keeps the
+// expected ownership imbalance of a small static cluster within a few
+// percent while the whole ring still fits in a few kilobytes.
+const DefaultVirtualNodes = 64
+
+// Ring is a consistent-hash ring over a static member set. Each member
+// is hashed onto the ring at vnodes points; a key is owned by the
+// member whose point is the first at or clockwise of the key's hash.
+// The mapping is a pure function of (members, vnodes, key) — every
+// node of a cluster configured with the same membership computes the
+// same owner for every key, with no coordination.
+//
+// A Ring is immutable after construction and safe for concurrent use.
+type Ring struct {
+	members []string
+	points  []ringPoint // sorted ascending by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int32 // index into members
+}
+
+// NewRing builds a ring over the given members (deduplicated input is
+// required — a duplicate would silently double that member's share).
+// Member strings are opaque identifiers; the service uses base URLs.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty ring member")
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("cluster: duplicate ring member %q", m)
+		}
+		seen[m] = true
+	}
+	r := &Ring{
+		members: append([]string(nil), members...),
+		points:  make([]ringPoint, 0, len(members)*vnodes),
+	}
+	for i, m := range r.members {
+		for v := 0; v < vnodes; v++ {
+			h := pointHash(m, v)
+			r.points = append(r.points, ringPoint{hash: h, member: checked.Int32(i)})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		pa, pb := r.points[a], r.points[b]
+		if pa.hash != pb.hash {
+			return pa.hash < pb.hash
+		}
+		// A 64-bit collision between two members' points is vanishingly
+		// rare but must still order deterministically on every node.
+		return r.members[pa.member] < r.members[pb.member]
+	})
+	return r, nil
+}
+
+// Members returns the ring's member set in construction order. The
+// returned slice is shared and must not be mutated.
+func (r *Ring) Members() []string { return r.members }
+
+// Owner returns the member that owns key.
+func (r *Ring) Owner(key string) string {
+	return r.members[r.points[r.locate(key)].member]
+}
+
+// Successors returns up to n distinct members after key's owner in ring
+// order, excluding the owner itself — the replica set for key at
+// replication factor n. Fewer than n members exist beyond the owner in
+// a small cluster; the slice is correspondingly shorter.
+func (r *Ring) Successors(key string, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	start := r.locate(key)
+	owner := r.points[start].member
+	taken := map[int32]bool{owner: true}
+	var out []string
+	for step := 1; step < len(r.points) && len(out) < n; step++ {
+		p := r.points[(start+step)%len(r.points)]
+		if taken[p.member] {
+			continue
+		}
+		taken[p.member] = true
+		out = append(out, r.members[p.member])
+	}
+	return out
+}
+
+// locate returns the index of the first point at or clockwise of key's
+// hash, wrapping past the top of the hash space to the first point.
+func (r *Ring) locate(key string) int {
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// pointHash places one virtual node: SHA-256 over "member\x00vnode",
+// truncated to the first 8 big-endian bytes. The NUL separator keeps
+// ("ab", 1) and ("a", "b1")-style concatenation collisions apart.
+func pointHash(member string, vnode int) uint64 {
+	h := sha256.New()
+	h.Write([]byte(member))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(vnode)))
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0]))
+}
+
+// keyHash places a key on the ring. Keys are content addresses
+// ("sha256:<hex>") but the ring does not depend on that shape — any
+// string hashes deterministically.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testMembers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://node-%d:8421", i)
+	}
+	return out
+}
+
+func TestRingDeterministicAcrossConstruction(t *testing.T) {
+	members := testMembers(3)
+	a, err := NewRing(members, 64)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	// A second ring over the same membership — and one built from a
+	// rotated member order, as each node lists itself plus its peers in
+	// its own order — must agree on every owner.
+	b, err := NewRing(members, 64)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	rotated := []string{members[2], members[0], members[1]}
+	c, err := NewRing(rotated, 64)
+	if err != nil {
+		t.Fatalf("NewRing rotated: %v", err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("sha256:%064x", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("same-order rings disagree on %q: %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+		if a.Owner(key) != c.Owner(key) {
+			t.Fatalf("rotated ring disagrees on %q: %q vs %q", key, a.Owner(key), c.Owner(key))
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	members := testMembers(3)
+	r, err := NewRing(members, 0) // default vnodes
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("sha256:%064x", i))]++
+	}
+	for _, m := range members {
+		got := counts[m]
+		// With 64 vnodes per member the expected share is n/3 ± a wide
+		// margin; the point of the check is no member is starved or
+		// dominant, not a tight balance bound.
+		if got < n/6 || got > n/2+n/6 {
+			t.Fatalf("member %q owns %d of %d keys; distribution collapsed: %v", m, got, n, counts)
+		}
+	}
+}
+
+func TestRingSuccessors(t *testing.T) {
+	members := testMembers(4)
+	r, err := NewRing(members, 32)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("sha256:%064x", i)
+		owner := r.Owner(key)
+		succ := r.Successors(key, 2)
+		if len(succ) != 2 {
+			t.Fatalf("key %q: want 2 successors, got %v", key, succ)
+		}
+		seen := map[string]bool{owner: true}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("key %q: successor set %v repeats a member (owner %q)", key, succ, owner)
+			}
+			seen[s] = true
+		}
+	}
+	// Asking for more successors than exist returns every other member.
+	if got := r.Successors("sha256:0", 99); len(got) != len(members)-1 {
+		t.Fatalf("oversized successor request returned %d members, want %d", len(got), len(members)-1)
+	}
+	if r.Successors("sha256:0", 0) != nil {
+		t.Fatalf("zero successors should be nil")
+	}
+}
+
+func TestRingSingleMember(t *testing.T) {
+	r, err := NewRing([]string{"http://only:1"}, 8)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	if got := r.Owner("anything"); got != "http://only:1" {
+		t.Fatalf("single-member owner = %q", got)
+	}
+	if got := r.Successors("anything", 3); got != nil {
+		t.Fatalf("single-member successors = %v, want none", got)
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatalf("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 8); err == nil {
+		t.Fatalf("duplicate member accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 8); err == nil {
+		t.Fatalf("empty member accepted")
+	}
+}

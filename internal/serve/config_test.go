@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestConfigValidation sweeps the construction-time rejection surface:
+// zero fields take defaults silently, negative or contradictory values
+// fail New with an error naming the field, and the cluster field rules
+// (peers without identity, identity without peers, unsatisfiable
+// replication, the node in its own peer list) all refuse before any
+// listener or goroutine exists.
+func TestConfigValidation(t *testing.T) {
+	valid := func() Config {
+		return Config{CacheDir: t.TempDir()}
+	}
+	clustered := func() Config {
+		c := valid()
+		c.SelfURL = "http://127.0.0.1:9001"
+		c.Peers = []string{"http://127.0.0.1:9002", "http://127.0.0.1:9003"}
+		c.ClusterSecret = "s"
+		return c
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string // "" = must construct
+	}{
+		{"zero value defaults", func(c *Config) {}, ""},
+		{"clustered defaults", func(c *Config) { *c = clustered() }, ""},
+		{"negative request timeout", func(c *Config) { c.RequestTimeout = -time.Second }, "RequestTimeout"},
+		{"negative read header timeout", func(c *Config) { c.ReadHeaderTimeout = -1 }, "ReadHeaderTimeout"},
+		{"negative read timeout", func(c *Config) { c.ReadTimeout = -time.Second }, "ReadTimeout"},
+		{"negative write timeout", func(c *Config) { c.WriteTimeout = -time.Second }, "WriteTimeout"},
+		{"negative idle timeout", func(c *Config) { c.IdleTimeout = -time.Second }, "IdleTimeout"},
+		{"negative peer timeout", func(c *Config) { c.PeerTimeout = -time.Second }, "PeerTimeout"},
+		{"read timeout below request timeout", func(c *Config) {
+			c.RequestTimeout = 30 * time.Second
+			c.ReadTimeout = 10 * time.Second
+		}, "ReadTimeout"},
+		{"write timeout below request timeout", func(c *Config) {
+			c.RequestTimeout = 30 * time.Second
+			c.WriteTimeout = 10 * time.Second
+		}, "WriteTimeout"},
+		{"negative workers", func(c *Config) { c.Workers = -2 }, "Workers"},
+		{"negative mem cache", func(c *Config) { c.MemCacheBytes = -1 }, "MemCacheBytes"},
+		{"negative upload bound", func(c *Config) { c.MaxUploadBytes = -5 }, "MaxUploadBytes"},
+		{"negative stats tile", func(c *Config) { c.DefaultStatsTile = -128 }, "DefaultStatsTile"},
+		{"self URL without peers", func(c *Config) { c.SelfURL = "http://127.0.0.1:9001" }, "SelfURL set without Peers"},
+		{"peers without self URL", func(c *Config) {
+			*c = clustered()
+			c.SelfURL = ""
+		}, "without SelfURL"},
+		{"peers without secret", func(c *Config) {
+			*c = clustered()
+			c.ClusterSecret = ""
+		}, "ClusterSecret"},
+		{"negative replication", func(c *Config) {
+			*c = clustered()
+			c.Replication = -1
+		}, "Replication"},
+		{"replication exceeds peers", func(c *Config) {
+			*c = clustered()
+			c.Replication = 3
+		}, "Replication"},
+		{"self in own peer list", func(c *Config) {
+			*c = clustered()
+			c.Peers = append(c.Peers, c.SelfURL)
+		}, "listed more than once"},
+		{"duplicate peer", func(c *Config) {
+			*c = clustered()
+			c.Peers = append(c.Peers, c.Peers[0])
+		}, "listed more than once"},
+		{"peer without scheme", func(c *Config) {
+			*c = clustered()
+			c.Peers[0] = "127.0.0.1:9002"
+		}, "http(s) base URL"},
+		{"self with bad scheme", func(c *Config) {
+			*c = clustered()
+			c.SelfURL = "ftp://127.0.0.1:9001"
+		}, "http(s) base URL"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid()
+			tc.mutate(&cfg)
+			s, err := New(cfg)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("New: unexpected error %v", err)
+				}
+				s.Shutdown(context.Background())
+				return
+			}
+			if err == nil {
+				s.Shutdown(context.Background())
+				t.Fatalf("New accepted invalid config")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestConfigTrailingSlashNormalized proves member URLs are compared
+// canonically: a trailing slash is not a distinct identity.
+func TestConfigTrailingSlashNormalized(t *testing.T) {
+	cfg := Config{
+		CacheDir:      t.TempDir(),
+		SelfURL:       "http://127.0.0.1:9001/",
+		Peers:         []string{"http://127.0.0.1:9001"},
+		ClusterSecret: "s",
+	}
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "listed more than once") {
+		t.Fatalf("trailing-slash self duplicate not caught: %v", err)
+	}
+}

@@ -32,6 +32,41 @@ var counterNames = []string{
 	"singleflight_shared",
 	"singleflight_detached",
 	"pool_coalesced",
+	"artifact_peer_hits",
+	"peer_fetch_misses",
+	"peer_fetch_errors",
+	"forward_attempts",
+	"forward_success",
+	"forward_fallback_local",
+	"replicate_pushes",
+	"replicate_errors",
+	"replica_hits",
+	"internal_artifact_serves",
+	"internal_artifact_stores",
+	"internal_requests_total",
+	"internal_auth_failures",
+	"readyz_unready",
+}
+
+// Per-peer counter kinds, indexed in lockstep with peerKindNames. The
+// full per-peer name set (peer_<i>_<kind>) is built once at server
+// construction — like latencyBucketNames, names handed to expvar are
+// never computed per call.
+const (
+	peerFetchHits = iota
+	peerFetchMisses
+	peerFetchErrors
+	peerForwards
+	peerReplicas
+	peerKindCount
+)
+
+var peerKindNames = [peerKindCount]string{
+	"fetch_hits",
+	"fetch_misses",
+	"fetch_errors",
+	"forwards",
+	"replicas",
 }
 
 // latencyBucketsMs are the upper bounds (inclusive, milliseconds) of the
@@ -56,6 +91,10 @@ var latencyBucketNames = func() []string {
 // publishes its single server's map explicitly.
 type metrics struct {
 	vars *expvar.Map
+	// peerNames[i][kind] is the fixed counter name for peer i — built
+	// once by initPeerCounters when the server is clustered, so per-peer
+	// accounting indexes a pre-registered name set.
+	peerNames [][peerKindCount]string
 }
 
 func newMetrics() *metrics {
@@ -77,7 +116,30 @@ func latencyBucket(upperMs int64) string {
 	return fmt.Sprintf("optimize_latency_ms_le_%d", upperMs)
 }
 
+// initPeerCounters registers the per-peer counter set for n peers.
+// Called once from New (before the server takes traffic), so the names
+// exist with explicit zeros before any peer call fires. Peer indexes
+// follow Config.Peers order.
+func (m *metrics) initPeerCounters(n int) {
+	m.peerNames = make([][peerKindCount]string, n)
+	for i := range m.peerNames {
+		for k := 0; k < peerKindCount; k++ {
+			m.peerNames[i][k] = fmt.Sprintf("peer_%d_%s", i, peerKindNames[k])
+			m.vars.Add(m.peerNames[i][k], 0)
+		}
+	}
+}
+
 func (m *metrics) add(name string, delta int64) { m.vars.Add(name, delta) }
+
+// addPeer bumps one per-peer counter; peer indexes out of the
+// configured range (never produced by the ring) are dropped.
+func (m *metrics) addPeer(peer, kind int, delta int64) {
+	if peer < 0 || peer >= len(m.peerNames) {
+		return
+	}
+	m.vars.Add(m.peerNames[peer][kind], delta)
+}
 
 // observeLatency records one optimize duration in the histogram.
 // Buckets are cumulative (Prometheus-style): a 3 ms request increments

@@ -88,6 +88,18 @@ func (p *pool) run(ctx context.Context, job func()) (started bool, err error) {
 	}
 }
 
+// accepting reports whether the pool still takes work — false once
+// shutdown has begun. The readiness probe keys off this: a draining
+// node must stop advertising itself before its in-flight work ends.
+func (p *pool) accepting() bool {
+	select {
+	case <-p.quit:
+		return false
+	default:
+		return true
+	}
+}
+
 // shutdown stops accepting work and waits for every worker to exit.
 // Safe to call more than once.
 func (p *pool) shutdown() {

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	return res.StatusCode
+}
+
+// TestReadyzDrain proves readiness and liveness diverge during a
+// graceful shutdown: /readyz flips to 503 the moment Shutdown begins —
+// while an in-flight request is still being served — and /healthz keeps
+// answering 200, so a load balancer drains the node without a restart
+// loop killing it.
+func TestReadyzDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	if got := getStatus(t, ts.URL+"/readyz"); got != http.StatusOK {
+		t.Fatalf("fresh server readyz: status %d, want 200", got)
+	}
+
+	// Hold a request in flight by trickling its body: the ingest handler
+	// is inside ServeHTTP, blocked reading the upload, until the pipe
+	// closes.
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/tensors", pr)
+	if err != nil {
+		t.Fatalf("build request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	type result struct {
+		status int
+		err    error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		res, err := http.DefaultClient.Do(req)
+		if err != nil {
+			resc <- result{0, err}
+			return
+		}
+		io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+		resc <- result{res.StatusCode, nil}
+	}()
+	if _, err := pw.Write([]byte(`{"gen":`)); err != nil {
+		t.Fatalf("trickle body: %v", err)
+	}
+	// Wait until the handler has entered (it counts ingest_total on
+	// entry, before reading the body).
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metric("ingest_total") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ingest handler never entered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Shutdown(context.Background())
+	}()
+
+	// The request is still in flight (its body is still open), yet the
+	// node must already refuse readiness.
+	unreadyBy := time.Now().Add(5 * time.Second)
+	for {
+		httpErrs := s.Metric("http_errors")
+		if got := getStatus(t, ts.URL+"/readyz"); got == http.StatusServiceUnavailable {
+			if s.Metric("http_errors") != httpErrs {
+				t.Fatalf("an unready probe polluted http_errors")
+			}
+			break
+		}
+		if time.Now().After(unreadyBy) {
+			t.Fatalf("readyz never flipped to 503 during drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s.Metric("readyz_unready") == 0 {
+		t.Fatalf("readyz_unready never counted")
+	}
+	if got := getStatus(t, ts.URL+"/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz during drain: status %d, want 200 (liveness is unconditional)", got)
+	}
+
+	// Release the in-flight request; its compute submission races the
+	// stopped pool and must come back 503, not hang.
+	if _, err := pw.Write([]byte(`{"label":"C","scale":16}}`)); err != nil {
+		t.Fatalf("finish body: %v", err)
+	}
+	pw.Close()
+	r := <-resc
+	if r.err != nil {
+		t.Fatalf("in-flight request failed at transport level: %v", r.err)
+	}
+	if r.status != http.StatusServiceUnavailable {
+		t.Fatalf("in-flight request after drain: status %d, want 503", r.status)
+	}
+	<-done
+
+	if got := getStatus(t, ts.URL+"/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after shutdown: status %d, want 503", got)
+	}
+}

@@ -10,10 +10,12 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"net/url"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"d2t2"
@@ -65,37 +67,147 @@ type Config struct {
 	// predict or stats request does not name one (default 128, the
 	// paper's sweep midpoint).
 	DefaultStatsTile int
+
+	// Peers lists the other d2t2d nodes' base URLs (e.g.
+	// "http://10.0.0.2:8421"). Non-empty Peers turns on clustering:
+	// the node joins a consistent-hash ring with them, fetches
+	// artifacts from key owners before recomputing, forwards cold
+	// optimize/predict requests to the owner, and replicates warm
+	// artifacts. Empty keeps classic single-node behavior.
+	Peers []string
+	// SelfURL is this node's own base URL as the peers reach it — its
+	// ring identity. Required when Peers is set.
+	SelfURL string
+	// ClusterSecret authenticates the internal peer routes; every node
+	// of one cluster carries the same value. Required when Peers is
+	// set.
+	ClusterSecret string
+	// Replication is how many ring successors (beyond the owner) each
+	// warm artifact is pushed to, async and best-effort (default 1;
+	// at most len(Peers)).
+	Replication int
+	// PeerTimeout bounds each single peer call — artifact fetch,
+	// forward attempt, replica push, ping (default 5 s).
+	PeerTimeout time.Duration
 }
 
+// withDefaults fills unset (zero) fields. Negative values are left in
+// place for validate to reject — a negative knob is a configuration
+// mistake, not a request for the default.
 func (c Config) withDefaults() Config {
 	if c.MemCacheBytes == 0 {
 		c.MemCacheBytes = 64 << 20
 	}
-	if c.Workers <= 0 {
+	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
-	if c.RequestTimeout <= 0 {
+	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
-	if c.ReadHeaderTimeout <= 0 {
+	if c.ReadHeaderTimeout == 0 {
 		c.ReadHeaderTimeout = 5 * time.Second
 	}
-	if c.ReadTimeout <= 0 {
+	if c.ReadTimeout == 0 && c.RequestTimeout > 0 {
 		c.ReadTimeout = c.RequestTimeout + 30*time.Second
 	}
-	if c.WriteTimeout <= 0 {
+	if c.WriteTimeout == 0 && c.RequestTimeout > 0 {
 		c.WriteTimeout = c.RequestTimeout + 30*time.Second
 	}
-	if c.IdleTimeout <= 0 {
+	if c.IdleTimeout == 0 {
 		c.IdleTimeout = 2 * time.Minute
 	}
-	if c.MaxUploadBytes <= 0 {
+	if c.MaxUploadBytes == 0 {
 		c.MaxUploadBytes = 256 << 20
 	}
-	if c.DefaultStatsTile <= 0 {
+	if c.DefaultStatsTile == 0 {
 		c.DefaultStatsTile = 128
 	}
+	if c.PeerTimeout == 0 {
+		c.PeerTimeout = 5 * time.Second
+	}
+	if c.Replication == 0 {
+		c.Replication = 1
+	}
+	c.SelfURL = strings.TrimRight(c.SelfURL, "/")
+	for i, p := range c.Peers {
+		c.Peers[i] = strings.TrimRight(p, "/")
+	}
 	return c
+}
+
+// validate rejects configurations that would misbehave at runtime.
+// Called by New on the post-default config, so a zero field has
+// already taken its default — anything still out of range here was an
+// explicit, wrong value.
+func (c Config) validate() error {
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"RequestTimeout", c.RequestTimeout},
+		{"ReadHeaderTimeout", c.ReadHeaderTimeout},
+		{"ReadTimeout", c.ReadTimeout},
+		{"WriteTimeout", c.WriteTimeout},
+		{"IdleTimeout", c.IdleTimeout},
+		{"PeerTimeout", c.PeerTimeout},
+	} {
+		if d.v <= 0 {
+			return fmt.Errorf("serve: %s must be positive, got %v", d.name, d.v)
+		}
+	}
+	// The connection reaper must not fire before the handler's own
+	// deadline decides an accepted request's fate (PR 4's invariant,
+	// previously only true by construction of the defaults).
+	if c.ReadTimeout <= c.RequestTimeout {
+		return fmt.Errorf("serve: ReadTimeout (%v) must exceed RequestTimeout (%v)", c.ReadTimeout, c.RequestTimeout)
+	}
+	if c.WriteTimeout <= c.RequestTimeout {
+		return fmt.Errorf("serve: WriteTimeout (%v) must exceed RequestTimeout (%v)", c.WriteTimeout, c.RequestTimeout)
+	}
+	if c.Workers <= 0 {
+		return fmt.Errorf("serve: Workers must be positive, got %d", c.Workers)
+	}
+	if c.MemCacheBytes < 0 {
+		return fmt.Errorf("serve: MemCacheBytes must be non-negative, got %d", c.MemCacheBytes)
+	}
+	if c.MaxUploadBytes <= 0 {
+		return fmt.Errorf("serve: MaxUploadBytes must be positive, got %d", c.MaxUploadBytes)
+	}
+	if c.DefaultStatsTile <= 0 {
+		return fmt.Errorf("serve: DefaultStatsTile must be positive, got %d", c.DefaultStatsTile)
+	}
+	if len(c.Peers) == 0 {
+		if c.SelfURL != "" {
+			return fmt.Errorf("serve: SelfURL set without Peers; clustering needs both")
+		}
+		return nil
+	}
+	if c.SelfURL == "" {
+		return fmt.Errorf("serve: Peers set without SelfURL; the node needs its own ring identity")
+	}
+	if c.ClusterSecret == "" {
+		return fmt.Errorf("serve: Peers set without ClusterSecret; internal routes must be authenticated")
+	}
+	if c.Replication < 0 {
+		return fmt.Errorf("serve: Replication must be non-negative, got %d", c.Replication)
+	}
+	if c.Replication > len(c.Peers) {
+		return fmt.Errorf("serve: Replication %d exceeds peer count %d; there are not enough distinct successors", c.Replication, len(c.Peers))
+	}
+	seen := map[string]bool{}
+	for _, raw := range append([]string{c.SelfURL}, c.Peers...) {
+		u, err := url.Parse(raw)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("serve: cluster member %q is not an http(s) base URL", raw)
+		}
+		// Self duplicated in Peers, or a peer listed twice: both would
+		// double that member's ring share.
+		if seen[raw] {
+			return fmt.Errorf("serve: cluster member %q listed more than once (is the node in its own -peers?)", raw)
+		}
+		seen[raw] = true
+	}
+	return nil
 }
 
 // Server is the d2t2d optimizer service. Create one with New, mount
@@ -110,16 +222,27 @@ type Server struct {
 	pool    *pool
 	flights *flightGroup
 	metrics *metrics
+	cluster *clusterState // nil when unclustered
 	mux     *http.ServeMux
+
+	// draining flips at the top of Shutdown, before in-flight requests
+	// finish, so /readyz stops advertising the node while it drains.
+	draining atomic.Bool
 
 	mu      sync.Mutex
 	tensors map[string]*d2t2.Tensor // content address -> registered tensor
 	httpSrv *http.Server
 }
 
-// New builds a server from cfg (see Config for defaults).
+// New builds a server from cfg (see Config for defaults). Invalid
+// configurations — negative timeouts or sizes, a replication factor
+// the peer set cannot satisfy, the node listed in its own peers — are
+// rejected here rather than misbehaving at runtime.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	store, err := NewStore(cfg.CacheDir, cfg.MemCacheBytes)
 	if err != nil {
 		return nil, err
@@ -131,6 +254,13 @@ func New(cfg Config) (*Server, error) {
 		metrics: newMetrics(),
 		tensors: make(map[string]*d2t2.Tensor),
 	}
+	if len(cfg.Peers) > 0 {
+		s.cluster, err = newClusterState(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.initPeerCounters(len(cfg.Peers))
+	}
 	s.flights = newFlightGroup(s.metrics)
 	s.session = d2t2.NewSession(&storeCache{s: s})
 	s.session.Workers = cfg.Workers
@@ -140,7 +270,15 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("GET /v1/tensors/{id}/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	if s.cluster != nil {
+		mux.HandleFunc("GET /internal/v1/artifact/{key}", s.requireClusterAuth(s.handleInternalArtifactGet))
+		mux.HandleFunc("PUT /internal/v1/artifact/{key}", s.requireClusterAuth(s.handleInternalArtifactPut))
+		mux.HandleFunc("POST /internal/v1/optimize", s.requireClusterAuth(s.handleInternalOptimize))
+		mux.HandleFunc("POST /internal/v1/predict", s.requireClusterAuth(s.handleInternalPredict))
+		mux.HandleFunc("GET /internal/v1/ping", s.requireClusterAuth(s.handleInternalPing))
+	}
 	s.mux = mux
 	return s, nil
 }
@@ -179,14 +317,17 @@ func (s *Server) ListenAndServe(addr string) error {
 	return err
 }
 
-// Shutdown drains the service gracefully: the HTTP server (when started
-// via ListenAndServe) stops accepting and drains in-flight handlers
-// bounded by ctx, then the ingest pool stops and every worker is
-// joined, then every coalescing flight runner is joined (after the pool
-// refuses work, a straggling flight terminates promptly with
-// ErrShuttingDown). Requests that race past the drain are refused with
-// 503.
+// Shutdown drains the service gracefully: readiness flips to 503 first
+// (load balancers stop routing here while in-flight work is still
+// finishing), then the HTTP server (when started via ListenAndServe)
+// stops accepting and drains in-flight handlers bounded by ctx, then
+// the ingest pool stops and every worker is joined, then every
+// coalescing flight runner is joined (after the pool refuses work, a
+// straggling flight terminates promptly with ErrShuttingDown), and
+// finally the cluster's replication goroutines are cancelled and
+// joined. Requests that race past the drain are refused with 503.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	s.mu.Lock()
 	srv := s.httpSrv
 	s.mu.Unlock()
@@ -196,6 +337,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.pool.shutdown()
 	s.flights.join()
+	if s.cluster != nil {
+		s.cluster.close()
+	}
 	return err
 }
 
@@ -207,32 +351,45 @@ func (s *Server) Metric(name string) int64 { return s.metrics.get(name) }
 // (cmd/d2t2d) can publish it globally.
 func (s *Server) Vars() expvar.Var { return s.metrics.vars }
 
-// storeGet reads an artifact and counts which layer served it.
-func (s *Server) storeGet(key string) ([]byte, Source) {
+// storeGet reads an artifact through the full ladder — local memory,
+// local disk, then (clustered) the key's owner peer and the rest of the
+// ring — and counts which layer served it. Peer bytes are CRC-verified
+// by the client and cache-filled locally (without re-replication: the
+// producing node already drove placement for the key).
+func (s *Server) storeGet(ctx context.Context, key string) ([]byte, Source) {
 	b, src, err := s.store.Get(key)
-	if err != nil || b == nil {
-		s.metrics.add("artifact_misses", 1)
-		return nil, SourceNone
+	if err == nil && b != nil {
+		switch src {
+		case SourceMem:
+			s.metrics.add("artifact_mem_hits", 1)
+		case SourceDisk:
+			s.metrics.add("artifact_disk_hits", 1)
+		}
+		return b, src
 	}
-	switch src {
-	case SourceMem:
-		s.metrics.add("artifact_mem_hits", 1)
-	case SourceDisk:
-		s.metrics.add("artifact_disk_hits", 1)
+	if s.cluster != nil {
+		if pb := s.peerFetch(ctx, key); pb != nil {
+			s.metrics.add("artifact_peer_hits", 1)
+			_ = s.store.Put(key, pb)
+			return pb, SourcePeer
+		}
 	}
-	return b, src
+	s.metrics.add("artifact_misses", 1)
+	return nil, SourceNone
 }
 
 // storeCache plugs the artifact store into the d2t2 Session as its
 // statistics cache. StoreStats only runs after an actual collection, so
 // stats_collect_total counts real tile-and-collect work — the counter
-// the e2e test asserts stays flat across warm requests.
+// the e2e test asserts stays flat across warm requests. The request
+// context rides through LoadStats so a statistics miss can try the
+// key's owner peer before the session re-collects.
 type storeCache struct {
 	s *Server
 }
 
-func (c *storeCache) LoadStats(key string) (*stats.Stats, bool) {
-	b, _ := c.s.storeGet(key)
+func (c *storeCache) LoadStats(ctx context.Context, key string) (*stats.Stats, bool) {
+	b, _ := c.s.storeGet(ctx, key)
 	if b == nil {
 		return nil, false
 	}
@@ -243,7 +400,7 @@ func (c *storeCache) LoadStats(key string) (*stats.Stats, bool) {
 	return a.Stats, true
 }
 
-func (c *storeCache) StoreStats(key string, st *stats.Stats, tiled *tiling.TiledTensor) {
+func (c *storeCache) StoreStats(ctx context.Context, key string, st *stats.Stats, tiled *tiling.TiledTensor) {
 	c.s.metrics.add("stats_collect_total", 1)
 	b, err := snapshot.EncodeBytes(&snapshot.Artifact{Stats: st, Tiled: tiled})
 	if err != nil {
@@ -251,6 +408,7 @@ func (c *storeCache) StoreStats(key string, st *stats.Stats, tiled *tiling.Tiled
 	}
 	// Best effort: a failed persist only costs a future re-collection.
 	_ = c.s.store.Put(key, b)
+	c.s.maybeReplicate(key, b)
 }
 
 // ---- request/response shapes ----
@@ -344,7 +502,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	var resp ingestResponse
 	var jobErr error
-	job := func() { resp, jobErr = s.ingest(asJSON, body) }
+	ctx := r.Context()
+	job := func() { resp, jobErr = s.ingest(ctx, asJSON, body) }
 	if err := s.runCompute(r.Context(), job); err != nil {
 		// Abandoned while queued (never ran) or at the deadline after
 		// hand-off — in the latter case the worker finishes the buffered
@@ -364,9 +523,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 // ingest parses one buffered upload (raw .mtx/.tns bytes, or a JSON
 // internal/gen spec), registers it under its content address, and
-// persists the tensor artifact. Runs on a pool worker and must not
-// touch the originating request.
-func (s *Server) ingest(asJSON bool, body []byte) (ingestResponse, error) {
+// persists the tensor artifact (replicating it toward its ring
+// placement when clustered, so other nodes can resolve the content
+// address without a peer round-trip at optimize time). Runs on a pool
+// worker and must not touch the originating request — ctx is the
+// request's context, carried for the cache ladder only.
+func (s *Server) ingest(ctx context.Context, asJSON bool, body []byte) (ingestResponse, error) {
 	var t *d2t2.Tensor
 	if asJSON {
 		var req ingestRequest
@@ -410,16 +572,35 @@ func (s *Server) ingest(asJSON bool, body []byte) (ingestResponse, error) {
 
 	cached := ok
 	if !cached {
-		if b, _ := s.storeGet(id); b != nil {
+		if b, _ := s.storeGet(ctx, id); b != nil {
 			cached = true
 		} else if b, err := snapshot.EncodeBytes(&snapshot.Artifact{Tensor: t.COO()}); err == nil {
 			_ = s.store.Put(id, b)
+			s.maybeReplicate(id, b)
 		}
 	}
 	return ingestResponse{ID: id, Dims: t.Dims(), NNZ: t.NNZ(), Cached: cached}, nil
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	s.optimize(w, r, false)
+}
+
+// handleInternalOptimize serves a forwarded optimize on the key's
+// owner: the same pipeline as the public route, but the forward rung is
+// disabled, so a forward terminates here even if ring views disagree —
+// a request can hop at most once.
+func (s *Server) handleInternalOptimize(w http.ResponseWriter, r *http.Request) {
+	s.optimize(w, r, true)
+}
+
+// optimize is the shared optimize pipeline. internal marks a forwarded
+// request arriving on the authenticated peer route. The ladder per key:
+// local cache (mem → disk → peer read-through), then — public route on
+// a non-owner only — forward to the owner so its singleflight coalesces
+// the cold run fleet-wide, then local compute as the always-available
+// fallback.
+func (s *Server) optimize(w http.ResponseWriter, r *http.Request, internal bool) {
 	start := time.Now()
 	defer func() { s.metrics.observeLatency(time.Since(start)) }()
 	s.metrics.add("optimize_total", 1)
@@ -445,16 +626,22 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	req.Tile = 0
 	req.Kernel = k.String()
 
-	key, err := responseKey("optimize", req)
+	key, canon, err := responseKey("optimize", req)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	if s.serveCachedResponse(w, key, "optimize_cache_hits") {
+	w.Header().Set("X-D2T2-Key", key)
+	if s.serveCachedResponse(r.Context(), w, key, "optimize_cache_hits") {
 		return
 	}
+	if !internal && s.cluster != nil && !s.cluster.owns(key) {
+		if s.forwardToOwner(w, r, "optimize", key, canon) {
+			return
+		}
+	}
 
-	inputs, err := s.resolveInputs(orders, req.Inputs)
+	inputs, err := s.resolveInputs(r.Context(), orders, req.Inputs)
 	if err != nil {
 		s.writeError(w, http.StatusNotFound, err)
 		return
@@ -514,6 +701,17 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.predict(w, r, false)
+}
+
+// handleInternalPredict serves a forwarded predict on the key's owner;
+// like handleInternalOptimize it never forwards again.
+func (s *Server) handleInternalPredict(w http.ResponseWriter, r *http.Request) {
+	s.predict(w, r, true)
+}
+
+// predict is the shared predict pipeline; see optimize for the ladder.
+func (s *Server) predict(w http.ResponseWriter, r *http.Request, internal bool) {
 	s.metrics.add("predict_total", 1)
 	var req predictRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
@@ -530,16 +728,22 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	req.Kernel = k.String()
 
-	key, err := responseKey("predict", req)
+	key, canon, err := responseKey("predict", req)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	if s.serveCachedResponse(w, key, "predict_cache_hits") {
+	w.Header().Set("X-D2T2-Key", key)
+	if s.serveCachedResponse(r.Context(), w, key, "predict_cache_hits") {
 		return
 	}
+	if !internal && s.cluster != nil && !s.cluster.owns(key) {
+		if s.forwardToOwner(w, r, "predict", key, canon) {
+			return
+		}
+	}
 
-	inputs, err := s.resolveInputs(k.InputOrders(), req.Inputs)
+	inputs, err := s.resolveInputs(r.Context(), k.InputOrders(), req.Inputs)
 	if err != nil {
 		s.writeError(w, http.StatusNotFound, err)
 		return
@@ -577,12 +781,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		tile = v
 	}
-	t, err := s.tensorByID(id)
+	ctx := r.Context()
+	t, err := s.tensorByID(ctx, id)
 	if err != nil {
 		s.writeError(w, http.StatusNotFound, err)
 		return
 	}
-	ctx := r.Context()
 	var sum *d2t2.StatsSummary
 	var jobErr error
 	job := func() { sum, jobErr = s.session.StatsCtx(ctx, t, tile) }
@@ -617,6 +821,43 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz is the readiness probe, distinct from /healthz on
+// purpose: /healthz answers "is the process alive" unconditionally,
+// while /readyz answers "should a load balancer route new work here" —
+// false while draining, when the compute pool stopped accepting, when
+// the artifact store's write path is broken, or (clustered) when no
+// configured peer is reachable.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if err := s.readiness(r.Context()); err != nil {
+		s.metrics.add("readyz_unready", 1)
+		// Unreadiness is a routing signal, not an error — keep it out of
+		// http_errors so drains don't light up error dashboards.
+		s.writeErrorStatus(w, http.StatusServiceUnavailable, err, false)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// readiness reports why the node should not receive new work, nil when
+// it should.
+func (s *Server) readiness(ctx context.Context) error {
+	if s.draining.Load() {
+		return fmt.Errorf("serve: draining")
+	}
+	if !s.pool.accepting() {
+		return fmt.Errorf("serve: compute pool not accepting work")
+	}
+	if err := s.store.Writable(); err != nil {
+		return err
+	}
+	if s.cluster != nil {
+		if err := s.cluster.anyPeerReachable(ctx); err != nil {
+			return fmt.Errorf("serve: ring not formed: %w", err)
+		}
+	}
+	return nil
+}
+
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	body := fmt.Sprintf("{\"version\": %q, \"d2t2d\": %s}\n", buildinfo.Version, s.metrics.vars.String())
@@ -629,19 +870,21 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 // responseKey derives the content address of a canonical request: the
 // struct is re-marshaled after defaults are applied and the kernel is
 // normalized, so equivalent requests collide onto one cached response.
-func responseKey(endpoint string, req any) (string, error) {
+// The canonical bytes are returned too — they are the exact body a
+// non-owner forwards, so the owner derives the identical key.
+func responseKey(endpoint string, req any) (string, []byte, error) {
 	canon, err := json.Marshal(req)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
-	return snapshot.ResponseKey(endpoint, canon), nil
+	return snapshot.ResponseKey(endpoint, canon), canon, nil
 }
 
 // serveCachedResponse replies with the cached response body for key when
-// present. Cache status travels in the X-D2T2-Cache header, never in the
-// body, so cold and warm responses are byte-identical.
-func (s *Server) serveCachedResponse(w http.ResponseWriter, key, counter string) bool {
-	b, _ := s.storeGet(key)
+// present. Cache state travels in the X-D2T2-Cache header, never in the
+// body, so every state serves byte-identical bodies.
+func (s *Server) serveCachedResponse(ctx context.Context, w http.ResponseWriter, key, counter string) bool {
+	b, src := s.storeGet(ctx, key)
 	if b == nil {
 		return false
 	}
@@ -650,8 +893,24 @@ func (s *Server) serveCachedResponse(w http.ResponseWriter, key, counter string)
 		return false
 	}
 	s.metrics.add(counter, 1)
-	s.writeBody(w, "hit", a.Response)
+	s.writeBody(w, s.cacheStateFor(key, src), a.Response)
 	return true
+}
+
+// cacheStateFor names a warm artifact hit for the X-D2T2-Cache header:
+// "peer" when the bytes were read through from a cluster peer just now,
+// "replica" for a local hit on a key this node does not own (the copy
+// landed here via replication or an earlier read-through), and "hit"
+// for a local hit on an owned key or any unclustered hit.
+func (s *Server) cacheStateFor(key string, src Source) string {
+	if src == SourcePeer {
+		return "peer"
+	}
+	if s.cluster != nil && !s.cluster.owns(key) {
+		s.metrics.add("replica_hits", 1)
+		return "replica"
+	}
+	return "hit"
 }
 
 // marshalAndPersist marshals resp once, persists it as a RESP artifact
@@ -665,11 +924,25 @@ func (s *Server) marshalAndPersist(key string, resp any) ([]byte, error) {
 		return nil, err
 	}
 	body = append(body, '\n')
-	if b, err := snapshot.EncodeBytes(&snapshot.Artifact{Response: body}); err == nil {
-		// Best effort: a failed persist only costs a future re-run.
-		_ = s.store.Put(key, b)
-	}
+	s.persistResponseBytes(key, body, true)
 	return body, nil
+}
+
+// persistResponseBytes persists one response body as a RESP artifact
+// under key, best-effort (a failed persist only costs a future re-run
+// or forward). replicate pushes the artifact toward its ring placement
+// and is set only by producers — cache fills from forwards and peer
+// fetches must not re-push, or every read would re-fan the artifact
+// out.
+func (s *Server) persistResponseBytes(key string, body []byte, replicate bool) {
+	b, err := snapshot.EncodeBytes(&snapshot.Artifact{Response: body})
+	if err != nil {
+		return
+	}
+	_ = s.store.Put(key, b)
+	if replicate {
+		s.maybeReplicate(key, b)
+	}
 }
 
 // cacheStatus names how a coalesced response was produced for the
@@ -794,15 +1067,15 @@ func (s *Server) writeErrorStatus(w http.ResponseWriter, status int, err error, 
 
 // resolveInputs maps operand names to registered tensors, loading tensor
 // artifacts from the store for addresses registered by an earlier
-// process life.
-func (s *Server) resolveInputs(orders map[string]int, ids map[string]string) (d2t2.Inputs, error) {
+// process life — or, clustered, ingested on a different node.
+func (s *Server) resolveInputs(ctx context.Context, orders map[string]int, ids map[string]string) (d2t2.Inputs, error) {
 	inputs := make(d2t2.Inputs, len(ids))
 	for name := range orders {
 		id, ok := ids[name]
 		if !ok {
 			return nil, fmt.Errorf("missing input %q", name)
 		}
-		t, err := s.tensorByID(id)
+		t, err := s.tensorByID(ctx, id)
 		if err != nil {
 			return nil, err
 		}
@@ -813,15 +1086,16 @@ func (s *Server) resolveInputs(orders map[string]int, ids map[string]string) (d2
 
 // tensorByID returns the registered tensor for a content address,
 // falling back to the artifact store (a persisted ingest from a previous
-// run of the daemon).
-func (s *Server) tensorByID(id string) (*d2t2.Tensor, error) {
+// run of the daemon, or — through the peer rung — an ingest that landed
+// on another cluster node).
+func (s *Server) tensorByID(ctx context.Context, id string) (*d2t2.Tensor, error) {
 	s.mu.Lock()
 	t, ok := s.tensors[id]
 	s.mu.Unlock()
 	if ok {
 		return t, nil
 	}
-	b, _ := s.storeGet(id)
+	b, _ := s.storeGet(ctx, id)
 	if b == nil {
 		return nil, fmt.Errorf("unknown tensor %q", id)
 	}

@@ -25,6 +25,10 @@ const (
 	SourceMem
 	// SourceDisk means the artifact was read from the on-disk layer.
 	SourceDisk
+	// SourcePeer means the artifact was fetched from a cluster peer —
+	// produced by Server.storeGet's read-through rung, never by the
+	// Store itself.
+	SourcePeer
 )
 
 // Store is a two-layer content-addressed artifact cache: a bounded
@@ -74,19 +78,30 @@ func NewStore(dir string, maxBytes int64) (*Store, error) {
 	}, nil
 }
 
-// path maps a content address to its on-disk location, rejecting
-// anything that is not a plain "sha256:<hex>" address so a malicious key
-// can never escape the cache directory.
-func (s *Store) path(key string) (string, error) {
+// IsContentAddress reports whether key is a plain "sha256:<64 hex>"
+// content address — the only key shape the store (and the cluster's
+// internal artifact routes) accept, so a malicious key can never
+// escape the cache directory or poison the memory layer.
+func IsContentAddress(key string) bool {
 	hex, ok := strings.CutPrefix(key, "sha256:")
 	if !ok || len(hex) != 64 {
-		return "", fmt.Errorf("serve: malformed content address %q", key)
+		return false
 	}
 	for _, c := range hex {
 		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
-			return "", fmt.Errorf("serve: malformed content address %q", key)
+			return false
 		}
 	}
+	return true
+}
+
+// path maps a content address to its on-disk location, rejecting
+// anything that is not a plain content address.
+func (s *Store) path(key string) (string, error) {
+	if !IsContentAddress(key) {
+		return "", fmt.Errorf("serve: malformed content address %q", key)
+	}
+	hex := strings.TrimPrefix(key, "sha256:")
 	return filepath.Join(s.dir, hex[:2], hex+".d2t2snap"), nil
 }
 
@@ -181,6 +196,29 @@ func (s *Store) admit(key string, data []byte) {
 		delete(s.idx, ent.key)
 		s.cur -= int64(len(ent.data))
 	}
+}
+
+// Writable probes the store's write path for the readiness check: a
+// memory-only store is always writable; a disk-backed store must be
+// able to create, write and remove a file under its root.
+func (s *Store) Writable() error {
+	if s.dir == "" {
+		return nil
+	}
+	f, err := os.CreateTemp(s.dir, ".readyz-*")
+	if err != nil {
+		return fmt.Errorf("serve: store not writable: %w", err)
+	}
+	name := f.Name()
+	_, werr := f.Write([]byte("ok"))
+	cerr := f.Close()
+	rerr := os.Remove(name)
+	for _, e := range []error{werr, cerr, rerr} {
+		if e != nil {
+			return fmt.Errorf("serve: store not writable: %w", e)
+		}
+	}
+	return nil
 }
 
 // MemBytes reports the bytes currently held by the memory layer.

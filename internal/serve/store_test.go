@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -114,5 +117,86 @@ func TestPoolShutdown(t *testing.T) {
 	p.shutdown() // idempotent
 	if started, err := p.run(context.Background(), func() {}); err != ErrShuttingDown || started {
 		t.Fatalf("run after shutdown: started=%v err=%v, want ErrShuttingDown", started, err)
+	}
+}
+
+// TestStoreConcurrentLRU hammers one small-budget store from many
+// goroutines mixing Put, Get and re-admission, with the memory budget
+// checked continuously: MemBytes must never exceed the configured
+// bound, no operation may error, and after the dust settles every
+// artifact must still be readable byte-identically from disk even when
+// the memory layer evicted it.
+func TestStoreConcurrentLRU(t *testing.T) {
+	const (
+		maxBytes   = 8 << 10
+		entryBytes = 1 << 10
+		keys       = 48
+		workers    = 8
+		rounds     = 50
+	)
+	s, err := NewStore(t.TempDir(), maxBytes)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	payload := func(i int) []byte {
+		b := make([]byte, entryBytes)
+		for j := range b {
+			b[j] = byte(i + j)
+		}
+		return b
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w*rounds + r) % keys
+				k := key(fmt.Sprintf("concurrent-%d", i))
+				if err := s.Put(k, payload(i)); err != nil {
+					errs <- fmt.Errorf("Put %d: %w", i, err)
+					return
+				}
+				if b, src, err := s.Get(k); err != nil {
+					errs <- fmt.Errorf("Get %d: %w", i, err)
+					return
+				} else if src != SourceNone && !bytes.Equal(b, payload(i)) {
+					errs <- fmt.Errorf("Get %d: corrupted bytes from %v", i, src)
+					return
+				}
+				if mb := s.MemBytes(); mb > maxBytes {
+					errs <- fmt.Errorf("memory budget exceeded: %d > %d", mb, maxBytes)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if mb := s.MemBytes(); mb > maxBytes {
+		t.Fatalf("final memory budget exceeded: %d > %d", mb, maxBytes)
+	}
+	// Every key must read back byte-identical — most from disk, since 48
+	// KiB of artifacts cannot fit an 8 KiB memory layer.
+	fromDisk := 0
+	for i := 0; i < keys; i++ {
+		k := key(fmt.Sprintf("concurrent-%d", i))
+		b, src, err := s.Get(k)
+		if err != nil || b == nil {
+			t.Fatalf("post-hammer Get %d: src %v, err %v", i, src, err)
+		}
+		if !bytes.Equal(b, payload(i)) {
+			t.Fatalf("post-hammer Get %d: bytes differ", i)
+		}
+		if src == SourceDisk {
+			fromDisk++
+		}
+	}
+	if fromDisk == 0 {
+		t.Fatalf("no key was served from disk; eviction never happened?")
 	}
 }

@@ -68,6 +68,14 @@ func AppendF64s(b []byte, xs []float64) []byte {
 	return b
 }
 
+// AppendBytes appends a u64 count followed by the raw bytes — the
+// framing the cluster peer protocol uses for keys and artifact
+// payloads.
+func AppendBytes(b []byte, xs []byte) []byte {
+	b = AppendU64(b, uint64(len(xs)))
+	return append(b, xs...)
+}
+
 // AppendBools appends a u64 count followed by one byte per element.
 func AppendBools(b []byte, xs []bool) []byte {
 	b = AppendU64(b, uint64(len(xs)))
@@ -224,6 +232,17 @@ func (r *Reader) F64s() []float64 {
 		out[i] = r.F64()
 	}
 	return out
+}
+
+// Bytes reads a slice written by AppendBytes. The returned slice
+// aliases the reader's buffer — copy it if the buffer outlives the
+// read. A nil slice is returned for count zero.
+func (r *Reader) Bytes() []byte {
+	n := r.count(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	return r.take(n)
 }
 
 // Bools reads a slice written by AppendBools.

@@ -19,12 +19,15 @@ const sessionMicroDiv = 8
 // before collecting statistics and updates after — d2t2d plugs its
 // content-addressed snapshot cache in here. Keys are content addresses
 // (snapshot.StatsKey); implementations must be safe for concurrent use.
+// The context is the calling request's: cache implementations that
+// reach the network (d2t2d's cluster read-through) bound their I/O with
+// it, and must treat a dead context as a miss rather than an error.
 // The tiled tensor passed to StoreStats is the conservative tiling the
 // statistics were collected from, so stores can persist the full
 // snapshot artifact; it may be nil when only statistics are available.
 type StatsCache interface {
-	LoadStats(key string) (*stats.Stats, bool)
-	StoreStats(key string, s *stats.Stats, tiled *tiling.TiledTensor)
+	LoadStats(ctx context.Context, key string) (*stats.Stats, bool)
+	StoreStats(ctx context.Context, key string, s *stats.Stats, tiled *tiling.TiledTensor)
 }
 
 // Session is a reusable optimizer context: it memoizes the per-tensor
@@ -94,7 +97,7 @@ func (s *Session) statsFor(ctx context.Context, t *Tensor, tileDims, order []int
 	}
 	key := snapshot.StatsKey(id, tileDims, order, sessionMicroDiv)
 	if s.cache != nil {
-		if st, ok := s.cache.LoadStats(key); ok {
+		if st, ok := s.cache.LoadStats(ctx, key); ok {
 			return st, nil
 		}
 	} else {
@@ -111,7 +114,7 @@ func (s *Session) statsFor(ctx context.Context, t *Tensor, tileDims, order []int
 		return nil, err
 	}
 	if s.cache != nil {
-		s.cache.StoreStats(key, st, tt)
+		s.cache.StoreStats(ctx, key, st, tt)
 	} else {
 		s.mu.Lock()
 		s.memo[key] = st
