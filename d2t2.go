@@ -41,6 +41,7 @@ import (
 	"d2t2/internal/mmio"
 	"d2t2/internal/model"
 	"d2t2/internal/optimizer"
+	"d2t2/internal/par"
 	"d2t2/internal/schemes"
 	"d2t2/internal/tensor"
 	"d2t2/internal/tiling"
@@ -237,6 +238,9 @@ type Plan struct {
 
 	kernel *Kernel
 	inputs Inputs
+	// workers is the worker-pool bound the plan was optimized with
+	// (0 = all cores); Measure reuses it for the measurement backend.
+	workers int
 }
 
 // lower converts the public options to the optimizer's.
@@ -254,7 +258,7 @@ func (opts Options) lower() optimizer.Options {
 }
 
 // newPlan wraps an optimizer result as a public Plan.
-func newPlan(res *optimizer.Result, k *Kernel, inputs Inputs) *Plan {
+func newPlan(res *optimizer.Result, k *Kernel, inputs Inputs, workers int) *Plan {
 	cfg := make(TileConfig, len(res.Config))
 	for ix, v := range res.Config {
 		cfg[ix] = v
@@ -267,6 +271,7 @@ func newPlan(res *optimizer.Result, k *Kernel, inputs Inputs) *Plan {
 		PredictedMB: res.Predicted.Total() * 4 / (1 << 20),
 		kernel:      k,
 		inputs:      inputs,
+		workers:     workers,
 	}
 }
 
@@ -285,7 +290,7 @@ func OptimizeCtx(ctx context.Context, k *Kernel, inputs Inputs, opts Options) (*
 	if err != nil {
 		return nil, err
 	}
-	return newPlan(res, k, inputs), nil
+	return newPlan(res, k, inputs, opts.Workers), nil
 }
 
 // OptimizeDataflow extends Optimize by also choosing the dataflow order:
@@ -298,7 +303,7 @@ func OptimizeDataflow(k *Kernel, inputs Inputs, opts Options) (*Plan, []string, 
 	if err != nil {
 		return nil, nil, err
 	}
-	plan := newPlan(res, &Kernel{expr: res.Expr}, inputs)
+	plan := newPlan(res, &Kernel{expr: res.Expr}, inputs, opts.Workers)
 	return plan, append([]string(nil), res.Expr.Order...), nil
 }
 
@@ -326,16 +331,19 @@ func (p *Plan) Measure() (*TrafficReport, error) {
 	return p.MeasureCtx(context.Background())
 }
 
-// MeasureCtx is Measure with cooperative cancellation of the retiling
-// pass. The measurement backend's kernel execution itself is not
-// cancellable — a deadline aborts the (dominant) tiling fan-out but a
-// measurement already executing runs to completion.
+// MeasureCtx is Measure with cooperative cancellation of both the
+// retiling pass and the measurement itself: the backend checks ctx
+// between outer-tile work units, so a deadline or client disconnect
+// stops an executing measurement at the next tile boundary instead of
+// running it to completion. The measurement runs on the worker pool
+// the plan was optimized with (0 = all cores) — traffic counters are
+// exact integers and merge identically at any worker count.
 func (p *Plan) MeasureCtx(ctx context.Context) (*TrafficReport, error) {
-	tiled, err := optimizer.TileAllCtx(ctx, p.kernel.expr, p.inputs.lower(), model.Config(p.Config), 0)
+	tiled, err := optimizer.TileAllCtx(ctx, p.kernel.expr, p.inputs.lower(), model.Config(p.Config), p.workers)
 	if err != nil {
 		return nil, err
 	}
-	res, err := exec.Measure(p.kernel.expr, tiled, nil)
+	res, err := exec.MeasureCtx(ctx, p.kernel.expr, tiled, &exec.Options{Workers: par.Workers(p.workers)})
 	if err != nil {
 		return nil, err
 	}

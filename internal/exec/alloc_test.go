@@ -1,0 +1,52 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"d2t2/internal/einsum"
+	"d2t2/internal/gen"
+	"d2t2/internal/raceflag"
+	"d2t2/internal/tiling"
+)
+
+// TestMeasureAllocs is the allocation regression gate for the compiled
+// measurement engine: per-Measure allocations are bounded by the plan
+// build and the per-tile predecode (O(refs + tiles)), never by entries,
+// join tuples or output cells — those all live in reused per-worker
+// scratch. The ceiling is ~2x the measured steady state so legitimate
+// churn does not flake, while a return to per-node map allocation or
+// per-tuple slice growth blows through it immediately.
+func TestMeasureAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("alloc counts are not meaningful under the race detector")
+	}
+	r := rand.New(rand.NewSource(23))
+	a := gen.PowerLawGraph(r, 256, 6000, 1.6)
+	b := a.Transpose()
+	e := einsum.SpMSpMIKJ()
+	tiles := map[string]int{"i": 16, "k": 16, "j": 16}
+	tens := map[string]*tiling.TiledTensor{
+		"A": tileFor(t, e, "A", a, tiles),
+		"B": tileFor(t, e, "B", b, tiles),
+	}
+	for _, tc := range []struct {
+		workers int
+		ceiling float64
+	}{{1, 4500}, {8, 5000}} {
+		t.Run(fmt.Sprintf("workers=%d", tc.workers), func(t *testing.T) {
+			opts := &Options{Workers: tc.workers}
+			avg := testing.AllocsPerRun(2, func() {
+				res, err := Measure(e, tens, opts)
+				if err != nil || !res.Specialized || res.MACs == 0 {
+					t.Fatalf("measurement failed: %v (specialized=%v)", err, res != nil && res.Specialized)
+				}
+			})
+			t.Logf("allocs/op: %.0f", avg)
+			if avg > tc.ceiling {
+				t.Errorf("Measure allocates %.0f times per call, ceiling %.0f", avg, tc.ceiling)
+			}
+		})
+	}
+}

@@ -19,6 +19,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -73,10 +74,13 @@ type Options struct {
 	// portion crosses memory twice).
 	InputBufferWords int
 	OverflowExtra    float64
-	// Workers > 1 partitions the outermost loop across goroutines. All
-	// counters merge exactly; the collected output is identical when the
-	// output tensor carries the outermost index (otherwise the option is
-	// ignored to preserve determinism).
+	// Workers > 1 partitions the outermost loop's coordinate values
+	// across the par worker pool. All traffic counters are exact
+	// integers, so any partition merges to the serial result; the option
+	// is honored unconditionally unless CollectOutput is set, in which
+	// case the output tensor must carry the outermost index (making
+	// every worker's collected coordinates disjoint) — otherwise the
+	// option is ignored to preserve float determinism.
 	Workers int
 	// OutputBufferWords, when positive, models the paper's output
 	// overflow handling (§6): an accumulated output tile larger than the
@@ -87,8 +91,12 @@ type Options struct {
 	// Trace receives one CSV line per memory event — useful for driving
 	// external simulators. Columns: event (fetch/write), tensor name or
 	// "OUT", outer coordinates joined by ';', words moved. Tracing forces
-	// serial execution.
+	// serial execution on the generic walker.
 	Trace io.Writer
+	// ForceGeneric disables the specialized engine and measures on the
+	// generic tree-walking interpreter — the reference oracle the
+	// differential suite compares the engine against.
+	ForceGeneric bool
 }
 
 // Result bundles traffic with the optionally collected output.
@@ -96,6 +104,9 @@ type Result struct {
 	Traffic
 	// Output tensor (nil unless Options.CollectOutput).
 	Out *tensor.COO
+	// Specialized reports whether the measurement ran on a compiled
+	// engine (true) or fell back to the generic walker (false).
+	Specialized bool
 }
 
 // Measure runs the kernel described by e over the given tiled inputs.
@@ -103,6 +114,22 @@ type Result struct {
 // must be tiled with level orders matching the dataflow order, and tile
 // sizes must agree between tensors sharing an index variable.
 func Measure(e *einsum.Expr, tensors map[string]*tiling.TiledTensor, opts *Options) (*Result, error) {
+	return MeasureCtx(context.Background(), e, tensors, opts)
+}
+
+// MeasureCtx is Measure with cooperative cancellation: the backend
+// checks ctx between outer-tile work units (once per outermost
+// coordinate value), so a cancelled or deadline-expired context stops
+// the measurement at the next tile boundary and returns the context's
+// error. A never-cancelled ctx yields exactly Measure's result.
+//
+// When the kernel is a single product of tensors within the engine's
+// shape envelope, the measurement runs on a compiled engine — a
+// fixed-rank loop nest with a precomputed per-depth join plan —
+// instead of the generic interpreter; Result.Specialized reports which
+// path ran. Both paths produce identical Traffic and collected output
+// (the differential suite in this package enforces it).
+func MeasureCtx(ctx context.Context, e *einsum.Expr, tensors map[string]*tiling.TiledTensor, opts *Options) (*Result, error) {
 	if err := e.Validate(); err != nil {
 		return nil, err
 	}
@@ -110,14 +137,21 @@ func Measure(e *einsum.Expr, tensors map[string]*tiling.TiledTensor, opts *Optio
 	if err != nil {
 		return nil, err
 	}
-	if w := workersFor(e, opts); w > 1 {
-		if err := r.runParallel(e, tensors, opts, w); err != nil {
+	w := workersFor(e, &r.opts)
+	specialized := false
+	if p := compileEngine(r); p != nil {
+		specialized = true
+		if err := p.run(ctx, w); err != nil {
 			return nil, err
 		}
-	} else {
-		r.run()
+	} else if w > 1 {
+		if err := r.runParallelCtx(ctx, w); err != nil {
+			return nil, err
+		}
+	} else if err := r.runCtx(ctx); err != nil {
+		return nil, err
 	}
-	res := &Result{Traffic: r.traffic}
+	res := &Result{Traffic: r.traffic, Specialized: specialized}
 	if r.collect != nil {
 		out := tensor.New(r.outDims...)
 		nOut := len(r.outDims)
@@ -175,17 +209,24 @@ type runner struct {
 	outAcc  map[uint64]float64 // output accumulator within outDepth scope
 	collect map[uint64]float64 // global output accumulator (optional)
 
-	// topFilter restricts the outermost loop to these coordinate values
-	// (parallel partitioning; nil = no restriction).
-	topFilter map[int32]bool
+	// topOnly restricts the outermost loop to one coordinate value
+	// (parallel partitioning into per-tile work units; -1 = no
+	// restriction).
+	topOnly int32
+
+	// ctx, when non-nil, is consulted once per outermost coordinate;
+	// the first observed error is latched in ctxErr and stops the walk.
+	ctx    context.Context
+	ctxErr error
 }
 
 func newRunner(e *einsum.Expr, tensors map[string]*tiling.TiledTensor, opts *Options) (*runner, error) {
 	inputs := e.Inputs()
 	r := &runner{
-		e:     e,
-		depth: len(e.Order),
-		bound: make([]int32, len(e.Order)),
+		e:       e,
+		depth:   len(e.Order),
+		bound:   make([]int32, len(e.Order)),
+		topOnly: -1,
 	}
 	if opts != nil {
 		r.opts = *opts
@@ -272,11 +313,112 @@ func newRunner(e *einsum.Expr, tensors map[string]*tiling.TiledTensor, opts *Opt
 	return r, nil
 }
 
-// run executes the outer loop nest. cursors[i] is the outer-CSF node
-// position of ref i at its last bound level (-1 = ref dead, 0 initial).
-func (r *runner) run() {
+// runCtx executes the outer loop nest serially. cursors[i] is the
+// outer-CSF node position of ref i at its last bound level (-1 = ref
+// dead, 0 initial). The context is consulted once per outermost
+// coordinate value; the first observed error aborts the walk and is
+// returned.
+func (r *runner) runCtx(ctx context.Context) error {
+	r.ctx = ctx
 	cursors := make([]int32, len(r.refs))
 	r.walk(0, cursors)
+	r.ctx = nil
+	return r.ctxErr
+}
+
+// runOne executes the loop nest restricted to one outermost coordinate
+// value — the per-tile work unit of the pool-scheduled fallback.
+func (r *runner) runOne(v int32) {
+	r.topOnly = v
+	cursors := make([]int32, len(r.refs))
+	r.walk(0, cursors)
+	r.topOnly = -1
+}
+
+// clone returns a fresh runner sharing this runner's immutable metadata
+// (expression analysis, tiled tensors, options) with private mutable
+// state — the per-worker scratch of the pool-scheduled fallback.
+func (r *runner) clone() *runner {
+	sub := &runner{
+		e:           r.e,
+		prods:       r.prods,
+		depth:       r.depth,
+		outDepth:    r.outDepth,
+		outAxisVar:  r.outAxisVar,
+		outTileDims: r.outTileDims,
+		outDims:     r.outDims,
+		outLevels:   r.outLevels,
+		opts:        r.opts,
+		bound:       make([]int32, r.depth),
+		topOnly:     -1,
+	}
+	for _, st := range r.refs {
+		sub.refs = append(sub.refs, &refState{
+			ref:          st.ref,
+			tt:           st.tt,
+			axisOfVar:    st.axisOfVar,
+			levelAtDepth: st.levelAtDepth,
+			fetchDepth:   st.fetchDepth,
+			entries:      make(map[*tiling.Tile]*entryList),
+		})
+	}
+	sub.traffic.Input = make(map[string]int64)
+	if r.collect != nil {
+		sub.collect = make(map[uint64]float64)
+	}
+	return sub
+}
+
+// mergeFrom folds a worker runner's traffic into this one. Every
+// counter is an exact integer sum, so the merge is identical under any
+// partition of the outermost loop; collected float sums only merge when
+// workers own disjoint output keys (enforced by workersFor).
+func (r *runner) mergeFrom(sub *runner) {
+	for name, words := range sub.traffic.Input {
+		r.traffic.Input[name] += words
+	}
+	r.traffic.Output += sub.traffic.Output
+	r.traffic.OutputWrites += sub.traffic.OutputWrites
+	r.traffic.TileIterations += sub.traffic.TileIterations
+	r.traffic.MACs += sub.traffic.MACs
+	r.traffic.OutputNNZ += sub.traffic.OutputNNZ
+	r.traffic.OverflowFetches += sub.traffic.OverflowFetches
+	r.traffic.OutputOverflows += sub.traffic.OutputOverflows
+	if r.collect != nil {
+		for k, v := range sub.collect {
+			r.collect[k] += v
+		}
+	}
+}
+
+// topValues enumerates the outermost loop's candidate coordinate values
+// exactly as walk(0) would: the union over summands of the intersection
+// of root-level coordinates of each summand's refs, sorted ascending.
+func (r *runner) topValues() []int32 {
+	values := make(map[int32]bool)
+	for _, prod := range r.prods {
+		var sets [][]int32
+		for _, ri := range prod {
+			st := r.refs[ri]
+			if st.levelAtDepth[0] < 0 {
+				continue
+			}
+			s, e := st.tt.OuterCSF.Children(0, 0)
+			sets = append(sets, st.tt.OuterCSF.Crd[0][s:e])
+		}
+		if len(sets) == 0 {
+			continue
+		}
+		for _, v := range intersectSorted(sets) {
+			values[v] = true
+		}
+	}
+	ordered := make([]int32, 0, len(values))
+	for v := range values {
+		ordered = append(ordered, v)
+	}
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a] < ordered[b] })
+	return ordered
 }
 
 // walk iterates loop depth d; returns whether any work happened below.
@@ -357,8 +499,16 @@ func (r *runner) walk(d int, cursors []int32) bool {
 	work := false
 	next := make([]int32, len(cursors))
 	for _, v := range ordered {
-		if d == 0 && r.topFilter != nil && !r.topFilter[v] {
-			continue
+		if d == 0 {
+			if r.topOnly >= 0 && v != r.topOnly {
+				continue
+			}
+			if r.ctx != nil {
+				if err := r.ctx.Err(); err != nil {
+					r.ctxErr = err
+					return work
+				}
+			}
 		}
 		copy(next, cursors)
 		// Advance or kill each active ref.

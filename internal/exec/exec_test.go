@@ -15,7 +15,7 @@ import (
 )
 
 // tileFor tiles t for the given occurrence of e with per-index tile sizes.
-func tileFor(t *testing.T, e *einsum.Expr, name string, m *tensor.COO, tileOf map[string]int) *tiling.TiledTensor {
+func tileFor(t testing.TB, e *einsum.Expr, name string, m *tensor.COO, tileOf map[string]int) *tiling.TiledTensor {
 	t.Helper()
 	ref, err := e.Input(name)
 	if err != nil {

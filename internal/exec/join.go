@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"d2t2/internal/checked"
+	"d2t2/internal/formats"
 	"d2t2/internal/tiling"
 )
 
@@ -130,36 +131,74 @@ func (r *runner) joinProduct(prod []int) {
 }
 
 // entriesOf decodes (and caches) a tile's inner coordinates in axis
-// order. For packed super-tiles (tiling.PackTiles), member entries are
-// re-based from member-tile origins to the packed tile's origin.
+// order.
 func (r *runner) entriesOf(st *refState, tile *tiling.Tile) *entryList {
 	if e := st.entries[tile]; e != nil {
 		return e
 	}
-	n := len(st.tt.Dims)
-	e := &entryList{crds: make([][]int32, n)}
-	appendCOO := func(csfTile *tiling.Tile, memberDims []int) {
-		coo := csfTile.CSF.ToCOO()
-		for a := 0; a < n; a++ {
-			off := 0
-			if memberDims != nil {
-				off = csfTile.Outer[a]*memberDims[a] - tile.Outer[a]*st.tt.TileDims[a]
-			}
-			for p := 0; p < coo.NNZ(); p++ {
-				e.crds[a] = append(e.crds[a], checked.Int32(coo.Crds[a][p]+off))
-			}
-		}
-		e.vals = append(e.vals, coo.Vals...)
-	}
-	if tile.Members == nil {
-		appendCOO(tile, nil)
-	} else {
-		for _, m := range tile.Members {
-			appendCOO(m, st.tt.PackedFrom)
-		}
-	}
+	e := decodeEntries(st.tt, tile)
 	st.entries[tile] = e
 	return e
+}
+
+// decodeEntries decodes a tile's entries into per-axis coordinate lists
+// plus values, in the tile CSF's depth-first storage order (the order
+// ToCOO restores). For packed super-tiles (tiling.PackTiles), member
+// entries are re-based from member-tile origins to the packed tile's
+// origin. Shared by the generic walker's cache and the engine's
+// predecode; both paths therefore see identical entry order, which the
+// float-determinism argument of the engine relies on.
+func decodeEntries(tt *tiling.TiledTensor, tile *tiling.Tile) *entryList {
+	n := len(tt.Dims)
+	total := tile.NNZ()
+	e := &entryList{crds: make([][]int32, n), vals: make([]float64, 0, total)}
+	for a := 0; a < n; a++ {
+		e.crds[a] = make([]int32, 0, total)
+	}
+	if tile.Members == nil {
+		appendCSFEntries(e, tile.CSF, nil)
+	} else {
+		off := make([]int32, n)
+		for _, m := range tile.Members {
+			for a := 0; a < n; a++ {
+				off[a] = checked.Int32(m.Outer[a]*tt.PackedFrom[a] - tile.Outer[a]*tt.TileDims[a])
+			}
+			appendCSFEntries(e, m.CSF, off)
+		}
+	}
+	return e
+}
+
+// appendCSFEntries walks one tile CSF depth-first and appends each
+// entry's axis-order coordinates (plus the per-axis offset, when
+// non-nil) and value.
+func appendCSFEntries(e *entryList, csf *formats.CSF, off []int32) {
+	lv := csf.Levels()
+	if csf.NNZ() == 0 {
+		return
+	}
+	path := make([]int32, lv)
+	var rec func(level, node int)
+	rec = func(level, node int) {
+		s, t := csf.Children(level, node)
+		for p := s; p < t; p++ {
+			c := csf.Crd[level][p]
+			if off != nil {
+				c += off[csf.Order[level]]
+			}
+			path[level] = c
+			if level == lv-1 {
+				for l := 0; l < lv; l++ {
+					a := csf.Order[l]
+					e.crds[a] = append(e.crds[a], path[l])
+				}
+				e.vals = append(e.vals, csf.Vals[p])
+			} else {
+				rec(level+1, p)
+			}
+		}
+	}
+	rec(0, 0)
 }
 
 // flushOutput writes the accumulated output tile: its CSF footprint is

@@ -1,19 +1,27 @@
 package exec
 
 import (
-	"sort"
+	"context"
 	"sync"
 
 	"d2t2/internal/einsum"
-	"d2t2/internal/tiling"
+	"d2t2/internal/par"
 )
 
-// workersFor decides whether a measurement may run in parallel: the
-// outermost loop index must appear in the output so every worker's
-// output accumulators and collected coordinates are disjoint.
+// workersFor decides whether a measurement may run in parallel. Traffic
+// counters are exact integer sums, so any partition of the outermost
+// loop merges to the serial result — parallel execution is always safe
+// for pure measurement. With CollectOutput the outermost loop index
+// must additionally appear in the output, so every worker's collected
+// coordinates are disjoint and the per-key float sums are byte-identical
+// to the serial pass. Tracing interleaves a shared writer and forces
+// serial execution.
 func workersFor(e *einsum.Expr, opts *Options) int {
 	if opts == nil || opts.Workers <= 1 || opts.Trace != nil {
 		return 1
+	}
+	if !opts.CollectOutput {
+		return opts.Workers
 	}
 	first := e.Order[0]
 	for _, ix := range e.Out.Indices {
@@ -24,96 +32,43 @@ func workersFor(e *einsum.Expr, opts *Options) int {
 	return 1
 }
 
-// runParallel partitions the outermost loop's coordinate values across
-// workers; each worker runs an independent runner restricted to its
-// share (topFilter) and the integer traffic counters merge exactly.
-func (r *runner) runParallel(e *einsum.Expr, tensors map[string]*tiling.TiledTensor, opts *Options, workers int) error {
-	// Enumerate top-level candidate values exactly as walk(0) would:
-	// union over summands of the intersection of root-level coordinates.
-	values := make(map[int32]bool)
-	for _, prod := range r.prods {
-		var sets [][]int32
-		for _, ri := range prod {
-			st := r.refs[ri]
-			if st.levelAtDepth[0] < 0 {
-				continue
-			}
-			s, e := st.tt.OuterCSF.Children(0, 0)
-			sets = append(sets, st.tt.OuterCSF.Crd[0][s:e])
-		}
-		if len(sets) == 0 {
-			continue
-		}
-		for _, v := range intersectSorted(sets) {
-			values[v] = true
-		}
-	}
+// runParallelCtx schedules the outermost loop's coordinate values as
+// work units on the par pool: workers claim tiles from a shared counter
+// (no modulo striping, so power-law outer fibers load-balance), reuse
+// one clone of the runner as per-worker scratch across every tile they
+// claim, and the exact integer traffic merges after the join. Panics
+// inside a work unit surface as *par.PanicError under the pool's
+// lowest-index-error-wins rule, and ctx is consulted before each claim.
+func (r *runner) runParallelCtx(ctx context.Context, workers int) error {
+	values := r.topValues()
 	if len(values) == 0 {
+		return ctx.Err()
+	}
+
+	// Workers register their scratch runner at construction (under the
+	// lock) for the commutative post-join merge — the sanctioned
+	// scratch-escape pattern (see par.ForEachScratch).
+	var mu sync.Mutex
+	var subs []*runner
+	newScratch := func() *runner {
+		sub := r.clone()
+		mu.Lock()
+		subs = append(subs, sub)
+		mu.Unlock()
+		return sub
+	}
+	err := par.ForEachScratchCtx(ctx, workers, len(values), newScratch, func(i int, sub *runner) error {
+		sub.runOne(values[i])
 		return nil
-	}
-	if workers > len(values) {
-		workers = len(values)
-	}
-
-	ordered := make([]int32, 0, len(values))
-	for v := range values {
-		ordered = append(ordered, v)
-	}
-	sort.Slice(ordered, func(a, b int) bool { return ordered[a] < ordered[b] })
-
-	subs := make([]*runner, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		sub, err := newRunner(e, tensors, opts)
-		if err != nil {
-			return err
-		}
-		sub.topFilter = make(map[int32]bool)
-		for i, v := range ordered {
-			if i%workers == w {
-				sub.topFilter[v] = true
-			}
-		}
-		subs[w] = sub
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					errs[w] = panicError{p}
-				}
-			}()
-			subs[w].run()
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	})
+	if err != nil {
+		return err
 	}
 
+	mu.Lock()
+	defer mu.Unlock()
 	for _, sub := range subs {
-		for name, words := range sub.traffic.Input {
-			r.traffic.Input[name] += words
-		}
-		r.traffic.Output += sub.traffic.Output
-		r.traffic.OutputWrites += sub.traffic.OutputWrites
-		r.traffic.TileIterations += sub.traffic.TileIterations
-		r.traffic.MACs += sub.traffic.MACs
-		r.traffic.OutputNNZ += sub.traffic.OutputNNZ
-		r.traffic.OverflowFetches += sub.traffic.OverflowFetches
-		r.traffic.OutputOverflows += sub.traffic.OutputOverflows
-		if r.collect != nil {
-			for k, v := range sub.collect {
-				r.collect[k] += v
-			}
-		}
+		r.mergeFrom(sub)
 	}
 	return nil
 }
-
-type panicError struct{ v any }
-
-func (p panicError) Error() string { return "exec: worker panic" }

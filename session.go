@@ -171,7 +171,7 @@ func (s *Session) OptimizeCtx(ctx context.Context, k *Kernel, inputs Inputs, opt
 	if err != nil {
 		return nil, err
 	}
-	return newPlan(res, k, inputs), nil
+	return newPlan(res, k, inputs, o.Workers), nil
 }
 
 // Predict runs the probabilistic traffic model for one tile
