@@ -11,8 +11,12 @@
 //
 //	POST /v1/tensors              ingest a .mtx/.tns upload or a JSON
 //	                              {"gen": {"label": "C", "scale": 32}} spec
+//	POST /v1/tensors/{id}/delta   append a coordinate delta; statistics
+//	                              merge instead of re-collecting
 //	POST /v1/optimize             run the D2T2 pipeline for a kernel
 //	POST /v1/predict              price one tile configuration
+//	POST /v1/batch                schedule many optimize jobs as one unit;
+//	                              jobs sharing a tensor share one collection
 //	GET  /v1/tensors/{id}/stats   collected statistics summary
 //	GET  /healthz                 liveness + version
 //	GET  /readyz                  readiness (503 while draining/degraded)

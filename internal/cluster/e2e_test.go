@@ -554,6 +554,7 @@ func TestClusterInternalRoutesAuthenticated(t *testing.T) {
 		{http.MethodPut, "/internal/v1/artifact/" + fakeKey},
 		{http.MethodPost, "/internal/v1/optimize"},
 		{http.MethodPost, "/internal/v1/predict"},
+		{http.MethodPost, "/internal/v1/batch"},
 		{http.MethodGet, "/internal/v1/ping"},
 	} {
 		req, err := http.NewRequest(probe.method, nodes[0].url+probe.path, bytes.NewReader(nil))
@@ -570,7 +571,123 @@ func TestClusterInternalRoutesAuthenticated(t *testing.T) {
 			t.Fatalf("%s %s without secret: status %d, want 403", probe.method, probe.path, res.StatusCode)
 		}
 	}
-	if nodes[0].srv.Metric("internal_auth_failures") != 5 {
-		t.Fatalf("internal_auth_failures = %d, want 5", nodes[0].srv.Metric("internal_auth_failures"))
+	if nodes[0].srv.Metric("internal_auth_failures") != 6 {
+		t.Fatalf("internal_auth_failures = %d, want 6", nodes[0].srv.Metric("internal_auth_failures"))
 	}
+}
+
+// batchVia posts jobs to node's /v1/batch and decodes the results.
+func batchVia(t testing.TB, node *testNode, jobs []map[string]any) []struct {
+	Key      string          `json:"key"`
+	Cache    string          `json:"cache"`
+	Response json.RawMessage `json:"response"`
+	Error    string          `json:"error"`
+} {
+	t.Helper()
+	resp, body := postJSON(t, node.url+"/v1/batch", map[string]any{"jobs": jobs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch via %s: status %d: %s", node.url, resp.StatusCode, body)
+	}
+	var br struct {
+		Jobs []struct {
+			Key      string          `json:"key"`
+			Cache    string          `json:"cache"`
+			Response json.RawMessage `json:"response"`
+			Error    string          `json:"error"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatalf("batch response: %v: %s", err, body)
+	}
+	return br.Jobs
+}
+
+// TestClusterBatchRoutesToOwners submits one mixed batch to a single
+// node and proves the scheduler's cluster claims: every job's key and
+// placement match the ring (keys the entry node owns run locally as
+// "miss", foreign keys travel to their owners as "forwarded"), each
+// forwarded job executed on — and its artifact landed on — its owner,
+// and the whole fleet ran every job exactly once (sum of
+// batch_local_jobs equals the job count). A follow-up single optimize
+// on an owner is a warm byte-identical hit, so batch artifacts and the
+// single-request path interoperate across the cluster.
+func TestClusterBatchRoutesToOwners(t *testing.T) {
+	nodes := newTestCluster(t, 3, 1)
+	id := ingestGen(t, nodes[0], "C", 1<<20)
+	inputs := map[string]string{"A": id, "B": id}
+
+	tiles := []int{32, 48, 64, 96}
+	jobs := make([]map[string]any, len(tiles))
+	keys := make([]string, len(tiles))
+	owners := make([]*testNode, len(tiles))
+	var wantForwarded int64
+	for i, tile := range tiles {
+		jobs[i] = map[string]any{"kernel": e2eKernel, "inputs": inputs, "tile": tile}
+		keys[i] = optimizeKeyFor(t, e2eKernel, inputs, tile)
+		owners[i], _ = ownerAndOthers(t, nodes, keys[i])
+		if owners[i] != nodes[0] {
+			wantForwarded++
+		}
+	}
+
+	results := batchVia(t, nodes[0], jobs)
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if r.Error != "" || len(r.Response) == 0 {
+			t.Fatalf("job %d (tile %d) failed: %q", i, tiles[i], r.Error)
+		}
+		if r.Key != keys[i] {
+			t.Fatalf("job %d key %q, client mirror derived %q", i, r.Key, keys[i])
+		}
+		want := "miss"
+		if owners[i] != nodes[0] {
+			want = "forwarded"
+		}
+		if r.Cache != want {
+			t.Fatalf("job %d (owner %s, entry %s): cache %q, want %q",
+				i, owners[i].url, nodes[0].url, r.Cache, want)
+		}
+		if !holdsArtifact(t, owners[i], keys[i]) {
+			t.Fatalf("job %d artifact did not land on its owner %s", i, owners[i].url)
+		}
+	}
+	if got := nodes[0].srv.Metric("batch_forwarded_jobs"); got != wantForwarded {
+		t.Fatalf("batch_forwarded_jobs = %d, want %d", got, wantForwarded)
+	}
+	if got := sumMetric(nodes, "batch_local_jobs"); got != int64(len(jobs)) {
+		t.Fatalf("fleet ran %d local jobs, want %d — work duplicated or lost", got, len(jobs))
+	}
+
+	// Batch artifacts serve the single-request path: the owner of job 0
+	// answers a plain optimize warm, byte-identical to the batch result.
+	state, key, body := optimizeVia(t, owners[0], inputs, tiles[0])
+	if state != "hit" || key != keys[0] {
+		t.Fatalf("single optimize on owner after batch: state %q key %q", state, key)
+	}
+	if !bytes.Equal(bytes.TrimSpace(body), bytes.TrimSpace(results[0].Response)) {
+		t.Fatalf("single optimize body differs from the batch's response")
+	}
+
+	// A dead owner degrades its group to local compute — latency, never
+	// availability. Find a fresh key owned by a peer, kill that peer,
+	// and resubmit through the entry node.
+	for _, tile := range []int{40, 56, 72, 80, 112} {
+		k := optimizeKeyFor(t, e2eKernel, inputs, tile)
+		owner, _ := ownerAndOthers(t, nodes, k)
+		if owner == nodes[0] {
+			continue
+		}
+		owner.kill()
+		res := batchVia(t, nodes[0], []map[string]any{
+			{"kernel": e2eKernel, "inputs": inputs, "tile": tile},
+		})
+		if res[0].Error != "" || res[0].Cache != "miss" {
+			t.Fatalf("batch with dead owner: cache %q error %q, want local miss",
+				res[0].Cache, res[0].Error)
+		}
+		return
+	}
+	t.Fatalf("no candidate tile owned by a peer; extend the tile list")
 }

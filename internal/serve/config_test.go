@@ -107,6 +107,35 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
+// TestConfigJSONBodyLimit pins the structured-body bound: 1 MiB by
+// default, but clamped down to MaxUploadBytes when the operator set the
+// global upload ceiling lower — a JSON body must never be admitted past
+// a bound the raw path would refuse.
+func TestConfigJSONBodyLimit(t *testing.T) {
+	cases := []struct {
+		name   string
+		upload int64 // MaxUploadBytes (0 = default)
+		want   int64
+	}{
+		{"default upload bound", 0, 1 << 20},
+		{"upload bound above 1MiB", 1 << 30, 1 << 20},
+		{"upload bound exactly 1MiB", 1 << 20, 1 << 20},
+		{"upload bound below 1MiB clamps", 512, 512},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := New(Config{CacheDir: t.TempDir(), MaxUploadBytes: tc.upload})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			defer s.Shutdown(context.Background())
+			if got := s.jsonBodyLimit(); got != tc.want {
+				t.Fatalf("jsonBodyLimit() = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
 // TestConfigTrailingSlashNormalized proves member URLs are compared
 // canonically: a trailing slash is not a distinct identity.
 func TestConfigTrailingSlashNormalized(t *testing.T) {

@@ -12,7 +12,19 @@ import (
 var counterNames = []string{
 	"ingest_total",
 	"ingest_errors",
+	"ingest_too_large",
+	"store_put_errors",
 	"tensors_registered",
+	"delta_total",
+	"delta_merges",
+	"delta_errors",
+	"batch_total",
+	"batch_jobs_total",
+	"batch_job_errors",
+	"batch_cache_hits",
+	"batch_forwarded_jobs",
+	"batch_local_jobs",
+	"stats_merge_total",
 	"artifact_mem_hits",
 	"artifact_disk_hits",
 	"artifact_misses",

@@ -266,8 +266,10 @@ func New(cfg Config) (*Server, error) {
 	s.session.Workers = cfg.Workers
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/tensors", s.handleIngest)
+	mux.HandleFunc("POST /v1/tensors/{id}/delta", s.handleDelta)
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/tensors/{id}/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -277,6 +279,7 @@ func New(cfg Config) (*Server, error) {
 		mux.HandleFunc("PUT /internal/v1/artifact/{key}", s.requireClusterAuth(s.handleInternalArtifactPut))
 		mux.HandleFunc("POST /internal/v1/optimize", s.requireClusterAuth(s.handleInternalOptimize))
 		mux.HandleFunc("POST /internal/v1/predict", s.requireClusterAuth(s.handleInternalPredict))
+		mux.HandleFunc("POST /internal/v1/batch", s.requireClusterAuth(s.handleInternalBatch))
 		mux.HandleFunc("GET /internal/v1/ping", s.requireClusterAuth(s.handleInternalPing))
 	}
 	s.mux = mux
@@ -411,6 +414,43 @@ func (c *storeCache) StoreStats(ctx context.Context, key string, st *stats.Stats
 	c.s.maybeReplicate(key, b)
 }
 
+// LoadPartial / StorePartial / StoreMergedStats implement the session's
+// PartialCache extension: mergeable statistics accumulators ride the
+// same content-addressed artifact ladder (as PART snapshot sections).
+// StoreMergedStats lands finalized statistics produced by a merge under
+// its own counter — stats_collect_total keeps meaning "an actual
+// tile-and-collect ran", the invariant the e2e tests difference.
+func (c *storeCache) LoadPartial(ctx context.Context, key string) (*stats.Partial, bool) {
+	b, _ := c.s.storeGet(ctx, key)
+	if b == nil {
+		return nil, false
+	}
+	a, err := snapshot.DecodeBytes(b)
+	if err != nil || a.Partial == nil {
+		return nil, false
+	}
+	return a.Partial, true
+}
+
+func (c *storeCache) StorePartial(ctx context.Context, key string, p *stats.Partial) {
+	b, err := snapshot.EncodeBytes(&snapshot.Artifact{Partial: p})
+	if err != nil {
+		return
+	}
+	_ = c.s.store.Put(key, b)
+	c.s.maybeReplicate(key, b)
+}
+
+func (c *storeCache) StoreMergedStats(ctx context.Context, key string, st *stats.Stats) {
+	c.s.metrics.add("stats_merge_total", 1)
+	b, err := snapshot.EncodeBytes(&snapshot.Artifact{Stats: st})
+	if err != nil {
+		return
+	}
+	_ = c.s.store.Put(key, b)
+	c.s.maybeReplicate(key, b)
+}
+
 // ---- request/response shapes ----
 
 type genSpec struct {
@@ -492,11 +532,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	asJSON := isJSONContentType(r.Header.Get("Content-Type"))
 	limit := s.cfg.MaxUploadBytes
 	if asJSON {
-		limit = 1 << 20
+		limit = s.jsonBodyLimit()
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 	if err != nil {
 		s.metrics.add("ingest_errors", 1)
+		// An over-limit body is the client's size problem, not a malformed
+		// request: report 413 with the limit, distinctly counted, so
+		// operators can tell "uploads too big" from "uploads broken".
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.metrics.add("ingest_too_large", 1)
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("upload exceeds the %d-byte limit", mbe.Limit))
+			return
+		}
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("read upload: %w", err))
 		return
 	}
@@ -551,11 +601,26 @@ func (s *Server) ingest(ctx context.Context, asJSON bool, body []byte) (ingestRe
 		}
 	}
 	t.Normalize()
-	id, err := s.session.TensorID(t)
+	id, t, cached, err := s.registerTensor(ctx, t)
 	if err != nil {
 		return ingestResponse{}, err
 	}
+	return ingestResponse{ID: id, Dims: t.Dims(), NNZ: t.NNZ(), Cached: cached}, nil
+}
 
+// registerTensor registers a normalized tensor under its content address
+// and persists the tensor artifact so later process lives (and, when
+// clustered, peers) can resolve the address. Returns the canonical
+// registered tensor — the first registration wins so the session memo
+// stays keyed to one value — and whether the content was already known.
+// A failed store write is counted and skips replication: pushing an
+// artifact the local node could not durably hold would advertise state
+// it cannot back.
+func (s *Server) registerTensor(ctx context.Context, t *d2t2.Tensor) (string, *d2t2.Tensor, bool, error) {
+	id, err := s.session.TensorID(t)
+	if err != nil {
+		return "", nil, false, err
+	}
 	s.mu.Lock()
 	existing, ok := s.tensors[id]
 	if !ok {
@@ -563,8 +628,6 @@ func (s *Server) ingest(ctx context.Context, asJSON bool, body []byte) (ingestRe
 	}
 	s.mu.Unlock()
 	if ok {
-		// Same content address, same canonical tensor: keep the first
-		// registration so the session memo stays keyed to one value.
 		t = existing
 	} else {
 		s.metrics.add("tensors_registered", 1)
@@ -575,11 +638,26 @@ func (s *Server) ingest(ctx context.Context, asJSON bool, body []byte) (ingestRe
 		if b, _ := s.storeGet(ctx, id); b != nil {
 			cached = true
 		} else if b, err := snapshot.EncodeBytes(&snapshot.Artifact{Tensor: t.COO()}); err == nil {
-			_ = s.store.Put(id, b)
-			s.maybeReplicate(id, b)
+			if perr := s.store.Put(id, b); perr != nil {
+				s.metrics.add("store_put_errors", 1)
+			} else {
+				s.maybeReplicate(id, b)
+			}
 		}
 	}
-	return ingestResponse{ID: id, Dims: t.Dims(), NNZ: t.NNZ(), Cached: cached}, nil
+	return id, t, cached, nil
+}
+
+// jsonBodyLimit bounds a structured (JSON) request body: 1 MiB — far
+// above any real request — further clamped to MaxUploadBytes when the
+// operator set the global upload bound even lower, so no body of any
+// content type can exceed the configured ceiling.
+func (s *Server) jsonBodyLimit() int64 {
+	const structuredLimit = 1 << 20
+	if s.cfg.MaxUploadBytes < structuredLimit {
+		return s.cfg.MaxUploadBytes
+	}
+	return structuredLimit
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
@@ -606,7 +684,7 @@ func (s *Server) optimize(w http.ResponseWriter, r *http.Request, internal bool)
 	s.metrics.add("optimize_total", 1)
 
 	var req optimizeRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.jsonBodyLimit())).Decode(&req); err != nil {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
@@ -714,7 +792,7 @@ func (s *Server) handleInternalPredict(w http.ResponseWriter, r *http.Request) {
 func (s *Server) predict(w http.ResponseWriter, r *http.Request, internal bool) {
 	s.metrics.add("predict_total", 1)
 	var req predictRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.jsonBodyLimit())).Decode(&req); err != nil {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
@@ -888,13 +966,24 @@ func (s *Server) serveCachedResponse(ctx context.Context, w http.ResponseWriter,
 	if b == nil {
 		return false
 	}
-	a, err := snapshot.DecodeBytes(b)
-	if err != nil || a.Response == nil {
+	body, ok := decodeResponseArtifact(b)
+	if !ok {
 		return false
 	}
 	s.metrics.add(counter, 1)
-	s.writeBody(w, s.cacheStateFor(key, src), a.Response)
+	s.writeBody(w, s.cacheStateFor(key, src), body)
 	return true
+}
+
+// decodeResponseArtifact extracts the response body from an artifact's
+// bytes; ok is false when the bytes don't decode or hold no RESP
+// section.
+func decodeResponseArtifact(b []byte) ([]byte, bool) {
+	a, err := snapshot.DecodeBytes(b)
+	if err != nil || a.Response == nil {
+		return nil, false
+	}
+	return a.Response, true
 }
 
 // cacheStateFor names a warm artifact hit for the X-D2T2-Cache header:

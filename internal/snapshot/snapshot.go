@@ -47,6 +47,7 @@ const (
 	tagTensor   = "TENS"
 	tagTiled    = "TILE"
 	tagStats    = "STAT"
+	tagPartial  = "PART"
 	tagResponse = "RESP"
 )
 
@@ -62,6 +63,7 @@ type Artifact struct {
 	Tensor   *tensor.COO
 	Tiled    *tiling.TiledTensor
 	Stats    *stats.Stats
+	Partial  *stats.Partial
 	Response []byte
 }
 
@@ -87,6 +89,9 @@ func EncodeBytes(a *Artifact) ([]byte, error) {
 	}
 	if a.Stats != nil {
 		buf = appendSection(buf, tagStats, encodeStats(a.Stats))
+	}
+	if a.Partial != nil {
+		buf = appendSection(buf, tagPartial, encodePartial(a.Partial))
 	}
 	if a.Response != nil {
 		buf = appendSection(buf, tagResponse, a.Response)
@@ -154,6 +159,8 @@ func DecodeBytes(b []byte) (*Artifact, error) {
 			a.Tiled, err = decodeTiled(payload)
 		case tagStats:
 			a.Stats, err = decodeStats(payload)
+		case tagPartial:
+			a.Partial, err = decodePartial(payload)
 		case tagResponse:
 			a.Response = append([]byte(nil), payload...)
 		default:
@@ -461,6 +468,135 @@ func decodeStats(payload []byte) (*stats.Stats, error) {
 	return stats.FromPortable(p)
 }
 
+// --- PART ---------------------------------------------------------------
+
+func encodePartial(p *stats.Partial) []byte {
+	b := wire.AppendInts(nil, p.Dims)
+	b = wire.AppendInts(b, p.TileDims)
+	b = wire.AppendInts(b, p.Order)
+	b = wire.AppendInts(b, p.MicroDims)
+	b = wire.AppendInts(b, p.CorrAxes)
+	b = wire.AppendInts(b, p.CorrMaxShift)
+	b = wire.AppendI64(b, int64(p.CorrSampleTarget))
+	b = wire.AppendI64(b, int64(p.TileCorrMaxShift))
+	b = appendOptional(b, p.SkipExtensions)
+	b = wire.AppendI64(b, int64(p.NNZ))
+
+	b = appendOptional(b, p.ElemCounts != nil)
+	if p.ElemCounts != nil {
+		b = wire.AppendU64(b, uint64(len(p.ElemCounts)))
+		for _, ec := range p.ElemCounts {
+			b = wire.AppendI32s(b, ec)
+		}
+	}
+	b = appendOptional(b, p.Sketches != nil)
+	if p.Sketches != nil {
+		b = wire.AppendU64(b, uint64(len(p.Sketches)))
+		for _, sk := range p.Sketches {
+			b = wire.AppendU64s(b, sk)
+		}
+	}
+
+	b = wire.AppendU64(b, uint64(len(p.CorrOff)))
+	for i := range p.CorrOff {
+		b = wire.AppendI32s(b, p.CorrOff[i])
+		b = wire.AppendU64s(b, p.CorrRest[i])
+	}
+
+	b = wire.AppendU64s(b, p.TileKeys)
+	b = wire.AppendI32s(b, p.TileNNZ)
+	b = wire.AppendI32s(b, p.TileFP)
+	b = wire.AppendU64(b, uint64(len(p.TileFibers)))
+	for _, f := range p.TileFibers {
+		b = wire.AppendI32s(b, f)
+	}
+	b = wire.AppendU64s(b, p.MicroKeys)
+	b = wire.AppendI32s(b, p.MicroNNZ)
+	return wire.AppendI32s(b, p.MicroFP)
+}
+
+func decodePartial(payload []byte) (*stats.Partial, error) {
+	r := wire.NewReader(payload)
+	p := &stats.Partial{
+		Dims:             r.Ints(),
+		TileDims:         r.Ints(),
+		Order:            r.Ints(),
+		MicroDims:        r.Ints(),
+		CorrAxes:         r.Ints(),
+		CorrMaxShift:     r.Ints(),
+		CorrSampleTarget: int(r.I64()),
+		TileCorrMaxShift: int(r.I64()),
+		SkipExtensions:   r.U8() == 1,
+		NNZ:              int(r.I64()),
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(p.Dims) > maxCodecOrder {
+		return nil, fmt.Errorf("snapshot: partial order %d exceeds %d", len(p.Dims), maxCodecOrder)
+	}
+
+	if r.U8() == 1 {
+		n := r.U64()
+		if n > uint64(maxCodecOrder) {
+			return nil, fmt.Errorf("snapshot: %d element-count axes exceeds %d", n, maxCodecOrder)
+		}
+		p.ElemCounts = make([][]int32, 0, n)
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			p.ElemCounts = append(p.ElemCounts, r.I32s())
+		}
+	}
+	if r.U8() == 1 {
+		n := r.U64()
+		if n > uint64(maxCodecOrder) {
+			return nil, fmt.Errorf("snapshot: %d sketch axes exceeds %d", n, maxCodecOrder)
+		}
+		p.Sketches = make([][]uint64, 0, n)
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			p.Sketches = append(p.Sketches, r.U64s())
+		}
+	}
+
+	nCorr := r.U64()
+	if nCorr > uint64(maxCodecOrder) {
+		return nil, fmt.Errorf("snapshot: %d corr accumulators exceeds %d", nCorr, maxCodecOrder)
+	}
+	p.CorrOff = make([][]int32, 0, nCorr)
+	p.CorrRest = make([][]uint64, 0, nCorr)
+	for i := uint64(0); i < nCorr && r.Err() == nil; i++ {
+		p.CorrOff = append(p.CorrOff, r.I32s())
+		p.CorrRest = append(p.CorrRest, r.U64s())
+	}
+
+	p.TileKeys = r.U64s()
+	p.TileNNZ = r.I32s()
+	p.TileFP = r.I32s()
+	nFib := r.U64()
+	if nFib > uint64(maxCodecOrder) {
+		return nil, fmt.Errorf("snapshot: %d fiber levels exceeds %d", nFib, maxCodecOrder)
+	}
+	p.TileFibers = make([][]int32, 0, nFib)
+	for i := uint64(0); i < nFib && r.Err() == nil; i++ {
+		p.TileFibers = append(p.TileFibers, r.I32s())
+	}
+	p.MicroKeys = r.U64s()
+	p.MicroNNZ = r.I32s()
+	p.MicroFP = r.I32s()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("snapshot: %d stray bytes after partial section", r.Remaining())
+	}
+	// Validate enforces every cross-field invariant (key ordering, offset
+	// monotonicity, entry-count conservation), so a decoded partial is
+	// safe to Merge and Finalize without re-deriving anything.
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
 // --- Content addresses ---------------------------------------------------
 
 // TensorID returns the content address of a tensor: "sha256:" + the hex
@@ -485,6 +621,17 @@ func TensorID(t *tensor.COO) (string, error) {
 func StatsKey(tensorID string, tileDims, order []int, microDiv int) string {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "stats|%s|%v|%v|%d", tensorID, tileDims, order, microDiv)
+	sum := sha256.Sum256(b.Bytes())
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// PartialKey derives the content address of a mergeable statistics
+// accumulator (a stats.Partial artifact) from the tensor ID and the
+// collection frame — the same parameters StatsKey hashes, under a
+// distinct prefix so finalized and accumulator artifacts never collide.
+func PartialKey(tensorID string, tileDims, order []int, microDiv int) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "partial|%s|%v|%v|%d", tensorID, tileDims, order, microDiv)
 	sum := sha256.Sum256(b.Bytes())
 	return "sha256:" + hex.EncodeToString(sum[:])
 }

@@ -7,6 +7,7 @@ import (
 
 	"d2t2/internal/gen"
 	"d2t2/internal/raceflag"
+	"d2t2/internal/tensor"
 	"d2t2/internal/tiling"
 )
 
@@ -42,5 +43,52 @@ func TestCollectFromTiledAllocs(t *testing.T) {
 				t.Errorf("CollectFromTiled allocates %.0f times per call, ceiling %.0f", avg, tc.ceiling)
 			}
 		})
+	}
+}
+
+// TestMergeAllocs gates the merge path's allocation budget: combining
+// two 100k-entry partials must cost only the merged tables and sketch
+// scratch — far below a re-collection. The split is by tile-index
+// parity so the halves' tile tables are disjoint, as Merge requires.
+func TestMergeAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("alloc counts are not meaningful under the race detector")
+	}
+	r := rand.New(rand.NewSource(2))
+	m := gen.PowerLawGraph(r, 2048, 200_000, 1.7)
+	tileDims := []int{64, 64}
+	order := []int{0, 1}
+	a, b := tensor.New(m.Dims...), tensor.New(m.Dims...)
+	coord := make([]int, m.Order())
+	for p := 0; p < m.NNZ(); p++ {
+		parity := 0
+		for ax := range coord {
+			coord[ax] = m.Crds[ax][p]
+			parity += coord[ax] / tileDims[ax]
+		}
+		if parity%2 == 0 {
+			a.Append(coord, m.Vals[p])
+		} else {
+			b.Append(coord, m.Vals[p])
+		}
+	}
+	pa, err := CollectPartial(a, tileDims, order, &Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := CollectPartial(b, tileDims, order, &Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(2, func() {
+		merged, err := Merge(pa, pb)
+		if err != nil || merged == nil {
+			t.Fatalf("merge failed: %v", err)
+		}
+	})
+	t.Logf("allocs/op: %.0f", avg)
+	const ceiling = 400
+	if avg > ceiling {
+		t.Errorf("Merge allocates %.0f times per call, ceiling %d", avg, ceiling)
 	}
 }

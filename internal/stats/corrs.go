@@ -6,17 +6,22 @@ import (
 	"d2t2/internal/tensor"
 )
 
-// corrsAxis computes the paper's Corrs statistic (Eq. 11) generalized to
-// arbitrary-order tensors: for positions k and k+s along the given axis,
-// the overlap between the sets of "rest" coordinates (all other axes) of
-// their entries, summed over sampled k and normalized so shift 0 is 1.
-//
-// The paper averages within sampled tiles; we compute against the full
-// coordinate range with sampled source positions, which measures the same
-// reduction potential (overlaps produce output reuse wherever they fall)
-// while bounding cost by sampleTarget × maxShift merge passes.
-func corrsAxis(t *tensor.COO, axis, maxShift, sampleTarget int) []float64 {
-	dim := t.Dims[axis]
+// corrPlan is the deterministic sampling frame behind the paper's Corrs
+// statistic (Eq. 11): which source positions along the axis are sampled
+// and which positions must therefore be gathered. The plan is a pure
+// function of (dim, maxShift, sampleTarget) — independent of the data —
+// which is what makes per-chunk corr accumulators mergeable: every
+// partial gathers the same positions, so their per-position rest-key
+// multisets concatenate into exactly the multisets a from-scratch gather
+// over the combined entries would produce.
+type corrPlan struct {
+	dim      int
+	maxShift int
+	needed   []bool
+	sources  []int
+}
+
+func newCorrPlan(dim, maxShift, sampleTarget int) *corrPlan {
 	if maxShift >= dim {
 		maxShift = dim - 1
 	}
@@ -31,35 +36,40 @@ func corrsAxis(t *tensor.COO, axis, maxShift, sampleTarget int) []float64 {
 	if sampleTarget > 0 && dim > sampleTarget {
 		stride = dim / sampleTarget
 	}
-	needed := make([]bool, dim)
-	sources := make([]int, 0, dim/stride+1)
+	pl := &corrPlan{dim: dim, maxShift: maxShift, needed: make([]bool, dim)}
 	for k := 0; k < dim; k += stride {
-		sources = append(sources, k)
+		pl.sources = append(pl.sources, k)
 		for s := 0; s <= maxShift && k+s < dim; s++ {
-			needed[k+s] = true
+			pl.needed[k+s] = true
 		}
 	}
+	return pl
+}
 
-	// Group the needed entries by coordinate along axis; the "rest" of
-	// each entry is encoded into a single uint64 key. Count-then-fill into
-	// one flat backing array instead of a map of growing slices: two
-	// passes over the entries, a handful of allocations total.
+// gather groups the needed entries by coordinate along axis; the "rest"
+// of each entry (all other axes) is encoded into a single uint64 key.
+// Count-then-fill into one flat backing array instead of a map of
+// growing slices: two passes over the entries, a handful of allocations
+// total. Each position's slice flat[off[k]:off[k+1]] comes back sorted —
+// the canonical accumulator form Partial serializes and Merge merges.
+func (pl *corrPlan) gather(t *tensor.COO, axis int) (off []int32, flat []uint64) {
+	dim := pl.dim
 	cnt := make([]int32, dim+1)
 	for p := 0; p < t.NNZ(); p++ {
-		if k := t.Crds[axis][p]; needed[k] {
+		if k := t.Crds[axis][p]; pl.needed[k] {
 			cnt[k+1]++
 		}
 	}
-	off := make([]int32, dim+1)
+	off = make([]int32, dim+1)
 	for k := 0; k < dim; k++ {
 		off[k+1] = off[k] + cnt[k+1]
 	}
-	flat := make([]uint64, off[dim])
+	flat = make([]uint64, off[dim])
 	cur := make([]int32, dim)
 	copy(cur, off[:dim])
 	for p := 0; p < t.NNZ(); p++ {
 		k := t.Crds[axis][p]
-		if !needed[k] {
+		if !pl.needed[k] {
 			continue
 		}
 		var key uint64
@@ -72,20 +82,29 @@ func corrsAxis(t *tensor.COO, axis, maxShift, sampleTarget int) []float64 {
 		flat[cur[k]] = key
 		cur[k]++
 	}
-	rest := func(k int) []uint64 { return flat[off[k]:off[k+1]] }
 	for k := 0; k < dim; k++ {
-		slices.Sort(rest(k))
+		slices.Sort(flat[off[k]:off[k+1]])
 	}
+	return off, flat
+}
 
-	overlap := make([]float64, maxShift+1)
+// finalize replays the overlap accumulation over a gathered (or merged)
+// accumulator: for positions k and k+s along the axis, the overlap
+// between the rest-key multisets of their entries, summed over sampled k
+// and normalized so shift 0 is 1. The replay is deterministic given the
+// sorted per-position multisets, so identical accumulators yield
+// byte-identical curves regardless of how they were assembled.
+func (pl *corrPlan) finalize(off []int32, flat []uint64) []float64 {
+	rest := func(k int) []uint64 { return flat[off[k]:off[k+1]] }
+	overlap := make([]float64, pl.maxShift+1)
 	base := 0.0
-	for _, k := range sources {
+	for _, k := range pl.sources {
 		lk := rest(k)
 		if len(lk) == 0 {
 			continue
 		}
 		base += float64(len(lk))
-		for s := 0; s <= maxShift && k+s < dim; s++ {
+		for s := 0; s <= pl.maxShift && k+s < pl.dim; s++ {
 			ls := rest(k + s)
 			if len(ls) == 0 {
 				continue
@@ -93,7 +112,7 @@ func corrsAxis(t *tensor.COO, axis, maxShift, sampleTarget int) []float64 {
 			overlap[s] += float64(sortedIntersection(lk, ls))
 		}
 	}
-	out := make([]float64, maxShift+1)
+	out := make([]float64, pl.maxShift+1)
 	if base == 0 {
 		out[0] = 1
 		return out
@@ -109,6 +128,19 @@ func corrsAxis(t *tensor.COO, axis, maxShift, sampleTarget int) []float64 {
 	}
 	out[0] = 1
 	return out
+}
+
+// corrsAxis computes the paper's Corrs statistic (Eq. 11) generalized to
+// arbitrary-order tensors, as one plan → gather → finalize composition.
+//
+// The paper averages within sampled tiles; we compute against the full
+// coordinate range with sampled source positions, which measures the same
+// reduction potential (overlaps produce output reuse wherever they fall)
+// while bounding cost by sampleTarget × maxShift merge passes.
+func corrsAxis(t *tensor.COO, axis, maxShift, sampleTarget int) []float64 {
+	pl := newCorrPlan(t.Dims[axis], maxShift, sampleTarget)
+	off, flat := pl.gather(t, axis)
+	return pl.finalize(off, flat)
 }
 
 // sortedIntersection returns |a ∩ b| for sorted slices.

@@ -1,0 +1,715 @@
+package stats
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sync"
+
+	"d2t2/internal/par"
+	"d2t2/internal/tensor"
+	"d2t2/internal/tiling"
+)
+
+// Partial is the mergeable accumulator form of a statistics collection:
+// every reduction the collector performs — entry histograms, bottom-k
+// sketch multisets, corr rest-key multisets, per-tile and per-micro-tile
+// summary records — kept in its pre-normalization state, before any
+// division or averaging. Two partials over entry-disjoint pieces of the
+// same tensor Merge into exactly the partial a from-scratch collection
+// over the combined entries would produce, and Finalize turns a partial
+// into the same Stats CollectFromTiled computes: every final float is a
+// ratio of exactly-merged integers or a deterministic replay over
+// identically-sorted data, so the Portable/snapshot bytes match a serial
+// collection byte for byte.
+//
+// The parameter fields (Dims through SkipExtensions) pin the collection
+// frame; Merge refuses partials whose frames differ. The table fields
+// are keyed by tile; Merge requires the key sets disjoint — partition
+// entries along tile boundaries (for both the base and the micro grid)
+// or use ApplyDelta, which re-summarizes the straddled tiles.
+type Partial struct {
+	Dims     []int // original dimension sizes
+	TileDims []int // conservative base tiling the stats frame uses
+	Order    []int // CSF level order (axis per level)
+	// MicroDims is the resolved micro tile size per axis
+	// (max(1, TileDims/MicroDiv)).
+	MicroDims []int
+
+	// CorrAxes lists the axes Corrs is collected for; CorrMaxShift holds
+	// the resolved shift bound per listed axis (parallel slices).
+	CorrAxes     []int
+	CorrMaxShift []int
+
+	CorrSampleTarget int
+	TileCorrMaxShift int
+	SkipExtensions   bool
+
+	NNZ int
+
+	// Entry-granularity accumulators: ElemCounts[a][v] sums elementwise;
+	// Sketches[a] is the sorted k-smallest hash multiset (duplicates
+	// retained — see bottomK.multiset); CorrOff[i]/CorrRest[i] hold the
+	// per-position sorted rest-key multisets of corr axis CorrAxes[i]
+	// (CorrOff[i][k]..CorrOff[i][k+1] bounds position k's keys).
+	ElemCounts [][]int32
+	Sketches   [][]uint64
+	CorrOff    [][]int32
+	CorrRest   [][]uint64
+
+	// Per-tile records at the base tiling, keys ascending:
+	// TileFibers[l][i] is the CSF level-l fiber count of tile TileKeys[i].
+	TileKeys   []uint64
+	TileNNZ    []int32
+	TileFP     []int32
+	TileFibers [][]int32
+
+	// Per-tile records at the micro tiling, keys ascending.
+	MicroKeys []uint64
+	MicroNNZ  []int32
+	MicroFP   []int32
+}
+
+// partialParams is the resolved collection frame: what CollectPartialCtx
+// derives from Options and what ApplyDelta reads back from an existing
+// Partial so the delta-only gather runs in the identical frame.
+type partialParams struct {
+	dims, tileDims, order, microDims []int
+	corrAxes, corrMaxShift           []int
+	corrSampleTarget                 int
+	tileCorrMaxShift                 int
+	skipExtensions                   bool
+}
+
+func paramsFromPartial(p *Partial) *partialParams {
+	return &partialParams{
+		dims:             p.Dims,
+		tileDims:         p.TileDims,
+		order:            p.Order,
+		microDims:        p.MicroDims,
+		corrAxes:         p.CorrAxes,
+		corrMaxShift:     p.CorrMaxShift,
+		corrSampleTarget: p.CorrSampleTarget,
+		tileCorrMaxShift: p.TileCorrMaxShift,
+		skipExtensions:   p.SkipExtensions,
+	}
+}
+
+// CollectPartial is CollectPartialCtx with a background context.
+func CollectPartial(t *tensor.COO, baseTileDims, order []int, opts *Options) (*Partial, error) {
+	return CollectPartialCtx(context.Background(), t, baseTileDims, order, opts)
+}
+
+// CollectPartialCtx collects the mergeable accumulator form of the
+// statistics for t at the given conservative tiling, under the same
+// options Collect takes. Finalize on the result reproduces CollectCtx's
+// Stats byte-identically (Portable/snapshot bytes equal) at any worker
+// count; partials over entry-disjoint chunks of a tensor Merge into the
+// partial of the whole. An empty tensor yields the monoid identity for
+// its frame.
+func CollectPartialCtx(ctx context.Context, t *tensor.COO, baseTileDims, order []int, opts *Options) (*Partial, error) {
+	o := opts.withDefaults()
+	n := t.Order()
+	if len(baseTileDims) != n {
+		return nil, fmt.Errorf("stats: %d tile dims for order-%d tensor", len(baseTileDims), n)
+	}
+	if order == nil {
+		order = make([]int, n)
+		for a := range order {
+			order[a] = a
+		}
+	}
+	microDims := make([]int, n)
+	for a, td := range baseTileDims {
+		microDims[a] = td / o.MicroDiv
+		if microDims[a] < 1 {
+			microDims[a] = 1
+		}
+	}
+	axes := o.CorrAxes
+	if axes == nil {
+		axes = make([]int, n)
+		for a := range axes {
+			axes[a] = a
+		}
+	}
+	for _, ax := range axes {
+		if ax < 0 || ax >= n {
+			return nil, fmt.Errorf("stats: corr axis %d out of range", ax)
+		}
+	}
+	maxShifts := make([]int, len(axes))
+	for i, ax := range axes {
+		maxShifts[i] = o.CorrMaxShift
+		if maxShifts[i] == 0 {
+			maxShifts[i] = 2 * baseTileDims[ax]
+		}
+	}
+	prm := &partialParams{
+		dims:             append([]int(nil), t.Dims...),
+		tileDims:         append([]int(nil), baseTileDims...),
+		order:            append([]int(nil), order...),
+		microDims:        microDims,
+		corrAxes:         append([]int(nil), axes...),
+		corrMaxShift:     maxShifts,
+		corrSampleTarget: o.CorrSampleTarget,
+		tileCorrMaxShift: o.TileCorrMaxShift,
+		skipExtensions:   o.SkipExtensions,
+	}
+	return collectPartial(ctx, t, prm, o.Workers)
+}
+
+// collectPartial runs the accumulator-form collection in a fully
+// resolved frame. The entry pass mirrors CollectFromTiledCtx's exactly
+// (same scratch discipline, same pair-key construction), and the tile
+// and micro tables come from the summary-only tiler, which task-for-task
+// matches what NewCtx materializes (see TestSummarizeMatchesNew).
+func collectPartial(ctx context.Context, t *tensor.COO, prm *partialParams, workers int) (*Partial, error) {
+	n := len(prm.dims)
+	tsum, err := tiling.SummarizeCtx(ctx, t, prm.tileDims, prm.order, workers)
+	if err != nil {
+		return nil, err
+	}
+	msum := tsum
+	if !slices.Equal(prm.microDims, prm.tileDims) {
+		msum, err = tiling.SummarizeCtx(ctx, t, prm.microDims, prm.order, workers)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	p := &Partial{
+		Dims:             prm.dims,
+		TileDims:         prm.tileDims,
+		Order:            prm.order,
+		MicroDims:        prm.microDims,
+		CorrAxes:         prm.corrAxes,
+		CorrMaxShift:     prm.corrMaxShift,
+		CorrSampleTarget: prm.corrSampleTarget,
+		TileCorrMaxShift: prm.tileCorrMaxShift,
+		SkipExtensions:   prm.skipExtensions,
+		NNZ:              t.NNZ(),
+		TileKeys:         tsum.Keys,
+		TileNNZ:          tsum.NNZ,
+		TileFP:           tsum.Footprint,
+		TileFibers:       tsum.Fibers,
+		MicroKeys:        msum.Keys,
+		MicroNNZ:         msum.NNZ,
+		MicroFP:          msum.Footprint,
+	}
+
+	if !prm.skipExtensions {
+		outerDims := make([]int, n)
+		for a := range outerDims {
+			outerDims[a] = (prm.dims[a] + prm.tileDims[a] - 1) / prm.tileDims[a]
+		}
+		entryChunks := par.Chunks(workers, t.NNZ())
+		type entryAgg struct {
+			counts   [][]int32
+			sketches []*bottomK
+		}
+		var emu sync.Mutex
+		var eaggs []*entryAgg
+		newEntryAgg := func() *entryAgg {
+			ea := &entryAgg{counts: make([][]int32, n), sketches: make([]*bottomK, n)}
+			for a := 0; a < n; a++ {
+				ea.counts[a] = make([]int32, prm.dims[a])
+				ea.sketches[a] = newBottomK(sketchSize)
+			}
+			emu.Lock()
+			eaggs = append(eaggs, ea)
+			emu.Unlock()
+			return ea
+		}
+		if err := par.ForEachScratchCtx(ctx, workers, len(entryChunks), newEntryAgg, func(c int, ea *entryAgg) error {
+			for pos := entryChunks[c][0]; pos < entryChunks[c][1]; pos++ {
+				for a := 0; a < n; a++ {
+					ea.counts[a][t.Crds[a][pos]]++
+					// Pair key: axis coordinate × coarse bucket of the rest.
+					var rest uint64
+					for b := 0; b < n; b++ {
+						if b == a {
+							continue
+						}
+						bucket := t.Crds[b][pos] / prm.tileDims[b]
+						rest = rest*uint64(outerDims[b]+1) + uint64(bucket)
+					}
+					ea.sketches[a].add(hash64(uint64(t.Crds[a][pos])<<26 ^ rest))
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		p.ElemCounts = make([][]int32, n)
+		sketches := make([]*bottomK, n)
+		for a := 0; a < n; a++ {
+			p.ElemCounts[a] = make([]int32, prm.dims[a])
+			sketches[a] = newBottomK(sketchSize)
+		}
+		for _, ea := range eaggs {
+			for a := 0; a < n; a++ {
+				for v, c := range ea.counts[a] {
+					p.ElemCounts[a][v] += c
+				}
+				sketches[a].merge(ea.sketches[a])
+			}
+		}
+		p.Sketches = make([][]uint64, n)
+		for a := 0; a < n; a++ {
+			p.Sketches[a] = sketches[a].multiset()
+		}
+	}
+
+	type corrAcc struct {
+		off  []int32
+		flat []uint64
+	}
+	accs, err := par.MapCtx(ctx, workers, len(prm.corrAxes), func(i int) (corrAcc, error) {
+		ax := prm.corrAxes[i]
+		pl := newCorrPlan(prm.dims[ax], prm.corrMaxShift[i], prm.corrSampleTarget)
+		off, flat := pl.gather(t, ax)
+		return corrAcc{off, flat}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.CorrOff = make([][]int32, len(accs))
+	p.CorrRest = make([][]uint64, len(accs))
+	for i, acc := range accs {
+		p.CorrOff[i] = acc.off
+		p.CorrRest[i] = acc.flat
+	}
+	return p, nil
+}
+
+// frameEqual reports whether two partials share the same collection
+// frame: only then are their accumulators about the same statistic.
+func (p *Partial) frameEqual(q *Partial) error {
+	switch {
+	case !slices.Equal(p.Dims, q.Dims):
+		return fmt.Errorf("stats: merge frame mismatch: dims %v vs %v", p.Dims, q.Dims)
+	case !slices.Equal(p.TileDims, q.TileDims):
+		return fmt.Errorf("stats: merge frame mismatch: tile dims %v vs %v", p.TileDims, q.TileDims)
+	case !slices.Equal(p.Order, q.Order):
+		return fmt.Errorf("stats: merge frame mismatch: order %v vs %v", p.Order, q.Order)
+	case !slices.Equal(p.MicroDims, q.MicroDims):
+		return fmt.Errorf("stats: merge frame mismatch: micro dims %v vs %v", p.MicroDims, q.MicroDims)
+	case !slices.Equal(p.CorrAxes, q.CorrAxes):
+		return fmt.Errorf("stats: merge frame mismatch: corr axes %v vs %v", p.CorrAxes, q.CorrAxes)
+	case !slices.Equal(p.CorrMaxShift, q.CorrMaxShift):
+		return fmt.Errorf("stats: merge frame mismatch: corr shifts %v vs %v", p.CorrMaxShift, q.CorrMaxShift)
+	case p.CorrSampleTarget != q.CorrSampleTarget:
+		return fmt.Errorf("stats: merge frame mismatch: corr sample target %d vs %d", p.CorrSampleTarget, q.CorrSampleTarget)
+	case p.TileCorrMaxShift != q.TileCorrMaxShift:
+		return fmt.Errorf("stats: merge frame mismatch: tile corr shift %d vs %d", p.TileCorrMaxShift, q.TileCorrMaxShift)
+	case p.SkipExtensions != q.SkipExtensions:
+		return fmt.Errorf("stats: merge frame mismatch: skip extensions %v vs %v", p.SkipExtensions, q.SkipExtensions)
+	}
+	return nil
+}
+
+// Merge combines two partials over entry-disjoint pieces of one tensor
+// into the partial of the combined entries: integer tables sum, sketch
+// and corr multisets merge sorted, tile tables union. It is functional
+// (neither input is mutated) and a commutative, associative monoid whose
+// identity is the empty tensor's partial for the same frame. Both tile
+// key sets (base and micro) must be disjoint — a tile with entries in
+// both partials cannot be reconstructed from summaries alone; use
+// ApplyDelta for that case.
+func Merge(a, b *Partial) (*Partial, error) {
+	if err := a.frameEqual(b); err != nil {
+		return nil, err
+	}
+	n := len(a.Dims)
+	out := &Partial{
+		Dims:             a.Dims,
+		TileDims:         a.TileDims,
+		Order:            a.Order,
+		MicroDims:        a.MicroDims,
+		CorrAxes:         a.CorrAxes,
+		CorrMaxShift:     a.CorrMaxShift,
+		CorrSampleTarget: a.CorrSampleTarget,
+		TileCorrMaxShift: a.TileCorrMaxShift,
+		SkipExtensions:   a.SkipExtensions,
+		NNZ:              a.NNZ + b.NNZ,
+	}
+
+	var err error
+	out.TileKeys, out.TileNNZ, out.TileFP, out.TileFibers, err =
+		mergeTables(a.TileKeys, a.TileNNZ, a.TileFP, a.TileFibers, b.TileKeys, b.TileNNZ, b.TileFP, b.TileFibers)
+	if err != nil {
+		return nil, fmt.Errorf("stats: merge base tables: %w", err)
+	}
+	out.MicroKeys, out.MicroNNZ, out.MicroFP, _, err =
+		mergeTables(a.MicroKeys, a.MicroNNZ, a.MicroFP, nil, b.MicroKeys, b.MicroNNZ, b.MicroFP, nil)
+	if err != nil {
+		return nil, fmt.Errorf("stats: merge micro tables: %w", err)
+	}
+
+	if !a.SkipExtensions {
+		out.ElemCounts = make([][]int32, n)
+		out.Sketches = make([][]uint64, n)
+		for ax := 0; ax < n; ax++ {
+			cnt := make([]int32, len(a.ElemCounts[ax]))
+			copy(cnt, a.ElemCounts[ax])
+			for v, c := range b.ElemCounts[ax] {
+				cnt[v] += c
+			}
+			out.ElemCounts[ax] = cnt
+			out.Sketches[ax] = mergeSortedBounded(a.Sketches[ax], b.Sketches[ax], sketchSize)
+		}
+	}
+
+	out.CorrOff = make([][]int32, len(a.CorrAxes))
+	out.CorrRest = make([][]uint64, len(a.CorrAxes))
+	for i := range a.CorrAxes {
+		out.CorrOff[i], out.CorrRest[i] = mergeCorrAccum(a.CorrOff[i], a.CorrRest[i], b.CorrOff[i], b.CorrRest[i])
+	}
+	return out, nil
+}
+
+// mergeTables unions two key-ascending tile tables, erroring on a key
+// present in both. fibers may be nil on both sides (micro tables).
+func mergeTables(ka []uint64, na, fa []int32, fba [][]int32, kb []uint64, nb, fb []int32, fbb [][]int32) ([]uint64, []int32, []int32, [][]int32, error) {
+	total := len(ka) + len(kb)
+	keys := make([]uint64, 0, total)
+	nnz := make([]int32, 0, total)
+	fp := make([]int32, 0, total)
+	var fib [][]int32
+	if fba != nil {
+		fib = make([][]int32, len(fba))
+		back := make([]int32, len(fba)*total)
+		for l := range fib {
+			fib[l] = back[l*total : l*total : (l+1)*total]
+		}
+	}
+	take := func(k []uint64, nz, f []int32, fbs [][]int32, i int) {
+		keys = append(keys, k[i])
+		nnz = append(nnz, nz[i])
+		fp = append(fp, f[i])
+		for l := range fib {
+			fib[l] = append(fib[l], fbs[l][i])
+		}
+	}
+	i, j := 0, 0
+	for i < len(ka) && j < len(kb) {
+		switch {
+		case ka[i] < kb[j]:
+			take(ka, na, fa, fba, i)
+			i++
+		case ka[i] > kb[j]:
+			take(kb, nb, fb, fbb, j)
+			j++
+		default:
+			return nil, nil, nil, nil, fmt.Errorf("tile key %#x present in both partials (split tile — partition on tile boundaries or use ApplyDelta)", ka[i])
+		}
+	}
+	for ; i < len(ka); i++ {
+		take(ka, na, fa, fba, i)
+	}
+	for ; j < len(kb); j++ {
+		take(kb, nb, fb, fbb, j)
+	}
+	return keys, nnz, fp, fib, nil
+}
+
+// mergeSortedBounded merges two sorted multisets keeping the k smallest
+// values (duplicates retained) — the bottom-k sketch merge in multiset
+// form.
+func mergeSortedBounded(a, b []uint64, k int) []uint64 {
+	m := len(a) + len(b)
+	if m > k {
+		m = k
+	}
+	out := make([]uint64, 0, m)
+	i, j := 0, 0
+	for len(out) < k && (i < len(a) || j < len(b)) {
+		if j >= len(b) || (i < len(a) && a[i] <= b[j]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	return out
+}
+
+// mergeCorrAccum merges two per-position sorted rest-key multisets.
+func mergeCorrAccum(offA []int32, flatA []uint64, offB []int32, flatB []uint64) ([]int32, []uint64) {
+	dim := len(offA) - 1
+	off := make([]int32, dim+1)
+	flat := make([]uint64, len(flatA)+len(flatB))
+	w := int32(0)
+	for k := 0; k < dim; k++ {
+		la := flatA[offA[k]:offA[k+1]]
+		lb := flatB[offB[k]:offB[k+1]]
+		i, j := 0, 0
+		for i < len(la) || j < len(lb) {
+			if j >= len(lb) || (i < len(la) && la[i] <= lb[j]) {
+				flat[w] = la[i]
+				i++
+			} else {
+				flat[w] = lb[j]
+				j++
+			}
+			w++
+		}
+		off[k+1] = w
+	}
+	return off, flat
+}
+
+// Validate checks the cross-field invariants every consumer of a Partial
+// assumes — arities, key ordering, offset monotonicity, entry-count
+// conservation — so a decoded artifact is safe to Merge and Finalize.
+func (p *Partial) Validate() error {
+	n := len(p.Dims)
+	if n == 0 {
+		return fmt.Errorf("stats: partial has no dimensions")
+	}
+	if len(p.TileDims) != n || len(p.Order) != n || len(p.MicroDims) != n {
+		return fmt.Errorf("stats: partial arity mismatch: %d dims, %d tile dims, %d order, %d micro dims",
+			n, len(p.TileDims), len(p.Order), len(p.MicroDims))
+	}
+	seen := make([]bool, n)
+	for _, a := range p.Order {
+		if a < 0 || a >= n || seen[a] {
+			return fmt.Errorf("stats: partial order %v is not a permutation of 0..%d", p.Order, n-1)
+		}
+		seen[a] = true
+	}
+	for a := 0; a < n; a++ {
+		if p.Dims[a] < 0 || p.TileDims[a] < 1 || p.MicroDims[a] < 1 {
+			return fmt.Errorf("stats: partial axis %d: dim %d, tile %d, micro %d", a, p.Dims[a], p.TileDims[a], p.MicroDims[a])
+		}
+	}
+	if len(p.CorrMaxShift) != len(p.CorrAxes) || len(p.CorrOff) != len(p.CorrAxes) || len(p.CorrRest) != len(p.CorrAxes) {
+		return fmt.Errorf("stats: partial corr tables: %d axes, %d shifts, %d offsets, %d rests",
+			len(p.CorrAxes), len(p.CorrMaxShift), len(p.CorrOff), len(p.CorrRest))
+	}
+	for i, ax := range p.CorrAxes {
+		if ax < 0 || ax >= n {
+			return fmt.Errorf("stats: partial corr axis %d out of range", ax)
+		}
+		if len(p.CorrOff[i]) != p.Dims[ax]+1 {
+			return fmt.Errorf("stats: partial corr axis %d: %d offsets for dim %d", ax, len(p.CorrOff[i]), p.Dims[ax])
+		}
+		if off := p.CorrOff[i]; len(off) > 0 {
+			if off[0] != 0 || int(off[len(off)-1]) != len(p.CorrRest[i]) {
+				return fmt.Errorf("stats: partial corr axis %d: offsets span [%d,%d] over %d keys",
+					ax, off[0], off[len(off)-1], len(p.CorrRest[i]))
+			}
+			for k := 1; k < len(off); k++ {
+				if off[k] < off[k-1] {
+					return fmt.Errorf("stats: partial corr axis %d: offsets decrease at %d", ax, k)
+				}
+			}
+		}
+	}
+	if p.SkipExtensions {
+		if p.ElemCounts != nil || p.Sketches != nil {
+			return fmt.Errorf("stats: partial carries extension tables despite SkipExtensions")
+		}
+	} else {
+		if len(p.ElemCounts) != n || len(p.Sketches) != n {
+			return fmt.Errorf("stats: partial extension tables: %d counts, %d sketches for order %d",
+				len(p.ElemCounts), len(p.Sketches), n)
+		}
+		for a := 0; a < n; a++ {
+			if len(p.ElemCounts[a]) != p.Dims[a] {
+				return fmt.Errorf("stats: partial elem counts axis %d: %d for dim %d", a, len(p.ElemCounts[a]), p.Dims[a])
+			}
+			if len(p.Sketches[a]) > sketchSize {
+				return fmt.Errorf("stats: partial sketch axis %d holds %d > %d hashes", a, len(p.Sketches[a]), sketchSize)
+			}
+			if !slices.IsSorted(p.Sketches[a]) {
+				return fmt.Errorf("stats: partial sketch axis %d is not sorted", a)
+			}
+		}
+	}
+	checkTable := func(what string, keys []uint64, nnz, fp []int32, fibers [][]int32) error {
+		if len(nnz) != len(keys) || len(fp) != len(keys) {
+			return fmt.Errorf("stats: partial %s table: %d keys, %d nnz, %d footprints", what, len(keys), len(nnz), len(fp))
+		}
+		total := 0
+		for i, k := range keys {
+			if i > 0 && keys[i-1] >= k {
+				return fmt.Errorf("stats: partial %s keys not strictly ascending at %d", what, i)
+			}
+			if nnz[i] < 1 || fp[i] < 1 {
+				return fmt.Errorf("stats: partial %s tile %#x: nnz %d, footprint %d", what, k, nnz[i], fp[i])
+			}
+			total += int(nnz[i])
+		}
+		if total != p.NNZ {
+			return fmt.Errorf("stats: partial %s table covers %d entries, NNZ says %d", what, total, p.NNZ)
+		}
+		if fibers != nil {
+			if len(fibers) != n {
+				return fmt.Errorf("stats: partial %s fibers: %d levels for order %d", what, len(fibers), n)
+			}
+			for l := range fibers {
+				if len(fibers[l]) != len(keys) {
+					return fmt.Errorf("stats: partial %s fibers level %d: %d for %d tiles", what, l, len(fibers[l]), len(keys))
+				}
+			}
+		}
+		return nil
+	}
+	if err := checkTable("base", p.TileKeys, p.TileNNZ, p.TileFP, p.TileFibers); err != nil {
+		return err
+	}
+	return checkTable("micro", p.MicroKeys, p.MicroNNZ, p.MicroFP, nil)
+}
+
+// Finalize normalizes the accumulators into the Stats bundle
+// CollectFromTiled computes, byte-identically: occupancy probabilities
+// and fiber densities as ratios of the merged integer tables, sketches
+// deduplicated into their set form, corr curves replayed over the merged
+// multisets by the same plan the gathers used.
+func (p *Partial) Finalize() (*Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Dims)
+	outerDims := make([]int, n)
+	for a := range outerDims {
+		outerDims[a] = (p.Dims[a] + p.TileDims[a] - 1) / p.TileDims[a]
+	}
+	s := &Stats{
+		Dims:         append([]int(nil), p.Dims...),
+		BaseTileDims: append([]int(nil), p.TileDims...),
+		Order:        append([]int(nil), p.Order...),
+		NNZ:          p.NNZ,
+		NumTiles:     len(p.TileKeys),
+		Corrs:        make(map[int][]float64),
+	}
+
+	totalFP := 0
+	for _, fp := range p.TileFP {
+		totalFP += int(fp)
+		if int(fp) > s.MaxTile {
+			s.MaxTile = int(fp)
+		}
+	}
+	if s.NumTiles > 0 {
+		s.SizeTile = float64(totalFP) / float64(s.NumTiles)
+	}
+
+	// PrTileIdx: the outer CSF's level-l fiber count is the number of
+	// distinct level-order coordinate prefixes of length l+1 — countable
+	// from the sorted level-order re-packing of the tile keys without
+	// building the CSF.
+	lk := make([]uint64, len(p.TileKeys))
+	oc := make([]int, n)
+	for i, k := range p.TileKeys {
+		tiling.UnkeyInto(oc, k)
+		var ord uint64
+		for _, ax := range p.Order {
+			ord = ord<<tiling.KeyShift | uint64(oc[ax])
+		}
+		lk[i] = ord
+	}
+	slices.Sort(lk)
+	outerFibers := make([]int, n)
+	for l := 0; l < n; l++ {
+		shift := uint(tiling.KeyShift * (n - 1 - l))
+		cnt := 0
+		var prev uint64
+		for i, k := range lk {
+			if pre := k >> shift; i == 0 || pre != prev {
+				cnt++
+				prev = pre
+			}
+		}
+		outerFibers[l] = cnt
+	}
+	s.PrTileIdx = make([]float64, n)
+	for l := 0; l < n; l++ {
+		dim := outerDims[p.Order[l]]
+		parents := 1
+		if l > 0 {
+			parents = outerFibers[l-1]
+		}
+		if parents == 0 || dim == 0 {
+			s.PrTileIdx[l] = 0
+			continue
+		}
+		s.PrTileIdx[l] = float64(outerFibers[l]) / (float64(parents) * float64(dim))
+	}
+
+	// ProbIndex: level-conditional fiber densities from the summed
+	// per-tile fiber counts.
+	fiberTotals := make([]int, n)
+	for l := 0; l < n; l++ {
+		for _, f := range p.TileFibers[l] {
+			fiberTotals[l] += int(f)
+		}
+	}
+	s.ProbIndex = make([]float64, n)
+	for l := 0; l < n; l++ {
+		parents := len(p.TileKeys)
+		if l > 0 {
+			parents = fiberTotals[l-1]
+		}
+		if parents == 0 {
+			s.ProbIndex[l] = 0
+			continue
+		}
+		s.ProbIndex[l] = float64(fiberTotals[l]) / (float64(parents) * float64(p.TileDims[p.Order[l]]))
+	}
+
+	// Outer-slice occupancy and its shift correlations.
+	s.occupancy = make([][]bool, n)
+	for ax := 0; ax < n; ax++ {
+		s.occupancy[ax] = make([]bool, outerDims[ax])
+	}
+	for _, k := range p.TileKeys {
+		tiling.UnkeyInto(oc, k)
+		for ax, c := range oc {
+			s.occupancy[ax][c] = true
+		}
+	}
+	s.TileCorrs = make([][]float64, n)
+	for ax := 0; ax < n; ax++ {
+		s.TileCorrs[ax] = tileCorrs(s.occupancy[ax], p.TileCorrMaxShift)
+	}
+
+	if !p.SkipExtensions {
+		s.ElemCounts = p.ElemCounts
+		s.PairSketch = make([][]uint64, n)
+		for ax := 0; ax < n; ax++ {
+			s.PairSketch[ax] = dedupSorted(append([]uint64(nil), p.Sketches[ax]...))
+		}
+	}
+
+	for i, ax := range p.CorrAxes {
+		pl := newCorrPlan(p.Dims[ax], p.CorrMaxShift[i], p.CorrSampleTarget)
+		s.Corrs[ax] = pl.finalize(p.CorrOff[i], p.CorrRest[i])
+	}
+
+	microFP := 0
+	for _, fp := range p.MicroFP {
+		microFP += int(fp)
+	}
+	microOuter := make([]int, n)
+	for a := range microOuter {
+		microOuter[a] = (p.Dims[a] + p.MicroDims[a] - 1) / p.MicroDims[a]
+	}
+	fpScale := 1.0
+	if microFP > 0 && totalFP > 0 {
+		fpScale = float64(totalFP) / float64(microFP)
+	}
+	s.micro = &microSummary{
+		dims:      s.Dims,
+		microDims: append([]int(nil), p.MicroDims...),
+		outerDims: microOuter,
+		keys:      p.MicroKeys,
+		nnz:       p.MicroNNZ,
+		footprint: p.MicroFP,
+		fpScale:   fpScale,
+	}
+	return s, nil
+}

@@ -70,20 +70,36 @@ func (b *bottomK) merge(o *bottomK) {
 	}
 }
 
+// multiset returns the sketch's k-smallest multiset sorted ascending,
+// duplicates retained — the mergeable accumulator form Partial carries.
+// Merging two multisets and truncating to k reproduces the k-smallest of
+// the union; deduplicating first would drop a duplicate hash that
+// straddles two partials and break the monoid.
+func (b *bottomK) multiset() []uint64 {
+	out := append([]uint64(nil), b.heap...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// dedupSorted removes adjacent duplicates from a sorted slice in place —
+// the final step turning a k-smallest multiset into the set form values
+// returns and SketchJaccard consumes.
+func dedupSorted(s []uint64) []uint64 {
+	w := 0
+	for i, v := range s {
+		if i > 0 && v == s[w-1] {
+			continue
+		}
+		s[w] = v
+		w++
+	}
+	return s[:w]
+}
+
 // values returns the sketch contents sorted ascending (duplicates
 // removed: the pair sets the sketch summarizes are sets).
 func (b *bottomK) values() []uint64 {
-	out := append([]uint64(nil), b.heap...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	w := 0
-	for i, v := range out {
-		if i > 0 && v == out[w-1] {
-			continue
-		}
-		out[w] = v
-		w++
-	}
-	return out[:w]
+	return dedupSorted(b.multiset())
 }
 
 // SketchJaccard estimates the Jaccard similarity of the sets two sorted

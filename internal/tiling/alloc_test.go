@@ -77,6 +77,12 @@ func TestSummarizeMatchesNew(t *testing.T) {
 						t.Fatalf("tile %#x: summary footprint %d != CSF footprint %d",
 							k, sum.Footprint[i], tile.Footprint)
 					}
+					for l := range sum.Fibers {
+						if int(sum.Fibers[l][i]) != tile.CSF.FiberCount(l) {
+							t.Fatalf("tile %#x: summary fibers[%d] %d != CSF fiber count %d",
+								k, l, sum.Fibers[l][i], tile.CSF.FiberCount(l))
+						}
+					}
 					total += int(sum.Footprint[i])
 				}
 				if total != sum.TotalFootprint {

@@ -24,6 +24,11 @@ import (
 // (sufficient for > 2M tiles per axis, far above anything we tile).
 const keyShift = 21
 
+// KeyShift is keyShift for callers outside the package that re-pack
+// Key/Unkey keys field by field — the statistics merge path repacks tile
+// keys into level order to count CSF fibers without building the CSF.
+const KeyShift = keyShift
+
 // Key encodes outer tile coordinates (in axis order) as a map key.
 func Key(outer []int) uint64 {
 	var k uint64
@@ -421,6 +426,11 @@ type TileSummary struct {
 	Keys      []uint64 // axis-order Key() per non-empty tile, ascending
 	NNZ       []int32  // stored entries per tile, parallel to Keys
 	Footprint []int32  // CSF footprint words per tile, parallel to Keys
+	// Fibers[l][i] is the fiber count at CSF level l of tile Keys[i] —
+	// exactly FiberCount(l) of the inner CSF NewCtx would build. The
+	// statistics merge path sums these per level instead of re-walking
+	// tiles, so per-chunk partials reproduce ProbIndex exactly.
+	Fibers [][]int32
 
 	TotalFootprint int
 }
@@ -453,6 +463,11 @@ func SummarizeCtx(ctx context.Context, t *tensor.COO, tileDims, order []int, wor
 		Keys:      make([]uint64, len(groupKeys)),
 		NNZ:       make([]int32, len(groupKeys)),
 		Footprint: make([]int32, len(groupKeys)),
+		Fibers:    make([][]int32, n),
+	}
+	fibBack := make([]int32, n*len(groupKeys))
+	for l := 0; l < n; l++ {
+		sum.Fibers[l] = fibBack[l*len(groupKeys) : (l+1)*len(groupKeys) : (l+1)*len(groupKeys)]
 	}
 	for a := range sum.OuterDims {
 		sum.OuterDims[a] = (t.Dims[a] + tileDims[a] - 1) / tileDims[a]
@@ -517,6 +532,9 @@ func SummarizeCtx(ctx context.Context, t *tensor.COO, tileDims, order []int, wor
 		sum.Keys[g] = Key(oc[:n])
 		sum.NNZ[g] = checked.Int32(len(seg))
 		sum.Footprint[g] = checked.Int32(words)
+		for l := 0; l < n; l++ {
+			sum.Fibers[l][g] = checked.Int32(fib[l])
+		}
 		return nil
 	}); err != nil {
 		return nil, err
@@ -532,13 +550,21 @@ func SummarizeCtx(ctx context.Context, t *tensor.COO, tileDims, order []int, wor
 	keys := make([]uint64, len(perm))
 	nnzs := make([]int32, len(perm))
 	fps := make([]int32, len(perm))
+	fibs := make([][]int32, n)
+	fibsBack := make([]int32, n*len(perm))
+	for l := 0; l < n; l++ {
+		fibs[l] = fibsBack[l*len(perm) : (l+1)*len(perm) : (l+1)*len(perm)]
+	}
 	for i, pi := range perm {
 		keys[i] = sum.Keys[pi]
 		nnzs[i] = sum.NNZ[pi]
 		fps[i] = sum.Footprint[pi]
+		for l := 0; l < n; l++ {
+			fibs[l][i] = sum.Fibers[l][pi]
+		}
 		sum.TotalFootprint += int(fps[i])
 	}
-	sum.Keys, sum.NNZ, sum.Footprint = keys, nnzs, fps
+	sum.Keys, sum.NNZ, sum.Footprint, sum.Fibers = keys, nnzs, fps, fibs
 	return sum, nil
 }
 

@@ -30,6 +30,21 @@ type StatsCache interface {
 	StoreStats(ctx context.Context, key string, s *stats.Stats, tiled *tiling.TiledTensor)
 }
 
+// PartialCache is an optional extension of StatsCache for stores that
+// can hold mergeable statistics accumulators (stats.Partial) alongside
+// finalized bundles. Sessions type-assert their StatsCache against it:
+// when present, Delta loads the base tensor's partial instead of
+// re-collecting, and stores merged results through StoreMergedStats —
+// a distinct entry point from StoreStats so stores that meter fresh
+// collections (d2t2d's stats_collect_total counter) do not count a
+// merge as a collection. Keys are content addresses
+// (snapshot.PartialKey / snapshot.StatsKey).
+type PartialCache interface {
+	LoadPartial(ctx context.Context, key string) (*stats.Partial, bool)
+	StorePartial(ctx context.Context, key string, p *stats.Partial)
+	StoreMergedStats(ctx context.Context, key string, s *stats.Stats)
+}
+
 // Session is a reusable optimizer context: it memoizes the per-tensor
 // tile-and-collect phase so repeated Optimize, Predict and Stats calls
 // against the same inputs skip straight to the probabilistic model. With
@@ -51,9 +66,10 @@ type Session struct {
 
 	cache StatsCache
 
-	mu   sync.Mutex
-	memo map[string]*stats.Stats
-	ids  map[*Tensor]string
+	mu    sync.Mutex
+	memo  map[string]*stats.Stats
+	pmemo map[string]*stats.Partial
+	ids   map[*Tensor]string
 }
 
 // NewSession returns a session backed by the given cache (nil for a
@@ -62,6 +78,7 @@ func NewSession(cache StatsCache) *Session {
 	return &Session{
 		cache: cache,
 		memo:  make(map[string]*stats.Stats),
+		pmemo: make(map[string]*stats.Partial),
 		ids:   make(map[*Tensor]string),
 	}
 }
@@ -147,6 +164,37 @@ func (s *Session) OptimizeCtx(ctx context.Context, k *Kernel, inputs Inputs, opt
 	if err != nil {
 		return nil, err
 	}
+	pre, err := s.precollect(ctx, k, inputs, base)
+	if err != nil {
+		return nil, err
+	}
+	o.Precollected = pre
+	res, err := optimizer.OptimizeCtx(ctx, k.expr, inputs.lower(), o)
+	if err != nil {
+		return nil, err
+	}
+	return newPlan(res, k, inputs, o.Workers), nil
+}
+
+// PrecollectCtx runs only the tile-and-collect phase OptimizeCtx would
+// run for k's inputs — warming the session (and its cache) without the
+// shape search. d2t2d's batch endpoint calls this once per group of
+// jobs sharing a tensor, so N batched jobs trigger exactly one
+// statistics collection before the per-job searches run.
+func (s *Session) PrecollectCtx(ctx context.Context, k *Kernel, inputs Inputs, opts Options) error {
+	o := opts.lower()
+	base, err := o.ConservativeBase(k.expr)
+	if err != nil {
+		return err
+	}
+	_, err = s.precollect(ctx, k, inputs, base)
+	return err
+}
+
+// precollect warms and returns the statistics for every distinct input
+// of k at an order-matched square base tiling, in the kernel's level
+// order for each reference — the exact frame OptimizeCtx consumes.
+func (s *Session) precollect(ctx context.Context, k *Kernel, inputs Inputs, base int) (map[string]*stats.Stats, error) {
 	pre := make(map[string]*stats.Stats)
 	for _, ref := range k.expr.Inputs() {
 		if _, done := pre[ref.Name]; done {
@@ -166,12 +214,7 @@ func (s *Session) OptimizeCtx(ctx context.Context, k *Kernel, inputs Inputs, opt
 		}
 		pre[ref.Name] = st
 	}
-	o.Precollected = pre
-	res, err := optimizer.OptimizeCtx(ctx, k.expr, inputs.lower(), o)
-	if err != nil {
-		return nil, err
-	}
-	return newPlan(res, k, inputs, o.Workers), nil
+	return pre, nil
 }
 
 // Predict runs the probabilistic traffic model for one tile
