@@ -236,6 +236,10 @@ func cmdOptimize(args []string) error {
 	analytic := fs.Bool("analytic", false, "paper-faithful analytic statistics path")
 	measure := fs.Bool("measure", false, "also execute and report exact traffic")
 	workers := fs.Int("workers", 0, "cold-pipeline worker count (0 = all cores)")
+	overflowTarget := fs.Float64("overflow-target", 0,
+		"acceptable predicted tile-overflow probability in [0,1); 0 keeps the conservative sizing")
+	calibrate := fs.Bool("calibrate", false,
+		"execute the chosen plan and report the measured-vs-predicted residual")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -248,8 +252,13 @@ func cmdOptimize(args []string) error {
 		return err
 	}
 	buffer := d2t2.DenseTileWords(*tile, *tile)
-	plan, err := d2t2.Optimize(k, inputs,
-		d2t2.Options{BufferWords: buffer, Analytic: *analytic, Workers: *workers})
+	plan, err := d2t2.Optimize(k, inputs, d2t2.Options{
+		BufferWords:    buffer,
+		Analytic:       *analytic,
+		Workers:        *workers,
+		OverflowTarget: *overflowTarget,
+		Calibrate:      *calibrate,
+	})
 	if err != nil {
 		return err
 	}
@@ -258,12 +267,23 @@ func cmdOptimize(args []string) error {
 	fmt.Printf("base tile: %d   RF: %g   TileFactor: %d\n", plan.BaseTile, plan.RF, plan.TileFactor)
 	fmt.Printf("config:    %v\n", configString(plan.Config))
 	fmt.Printf("predicted: %.3f MB\n", plan.PredictedMB)
+	if rk := plan.Risk; rk != nil {
+		fmt.Printf("risk:      target %g, percentile tile %d words, predicted overflow %.4f, utilization %.3f\n",
+			rk.OverflowTarget, rk.PercentileTile, rk.PredictedOverflowRate, rk.BufferUtilization)
+		if c := rk.Calibration; c != nil {
+			fmt.Printf("calib:     predicted %.3f MB, measured %.3f MB, residual %.4f, bias %.4f, overflow %.4f\n",
+				c.PredictedWords*4/(1<<20), c.MeasuredWords*4/(1<<20), c.Residual, c.BiasAfter, c.MeasuredOverflowRate)
+		}
+	}
 	if *measure {
 		rep, err := plan.Measure()
 		if err != nil {
 			return err
 		}
 		printReport(rep)
+		if plan.Risk != nil && plan.Risk.OverflowTarget > 0 {
+			fmt.Printf("measured:  overflow rate = %.4f\n", rep.OverflowRate())
+		}
 	}
 	return nil
 }

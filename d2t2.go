@@ -221,7 +221,28 @@ type Options struct {
 	// the parallel shape sweep (0 = all cores). The result is
 	// byte-identical at any worker count.
 	Workers int
+	// OverflowTarget enables risk-aware sizing (Tailors-style
+	// overbooking): the acceptable predicted probability that a fetched
+	// input tile overflows the buffer. 0 — the default — keeps the
+	// worst-case conservative pipeline, byte-identical to previous
+	// releases; must be in [0, 1). See Plan.Risk for the outcome.
+	OverflowTarget float64
+	// Calibrate runs the measurement backend on the chosen config and
+	// folds the measured-vs-predicted traffic residual back into the
+	// model (per workload class). Through a Session the residual store
+	// is shared, so repeated calibrated optimizes converge.
+	Calibrate bool
 }
+
+// RiskSummary reports a plan's risk-aware sizing decision: the
+// requested overflow target, the percentile seed, the predicted
+// overflow rate and buffer utilization at the chosen config, and any
+// calibration outcome.
+type RiskSummary = optimizer.RiskReport
+
+// CalibrationSummary is the outcome of one calibration run: measured vs
+// predicted traffic, the residual, and the updated workload-class bias.
+type CalibrationSummary = optimizer.CalibrationReport
 
 // Plan is an optimized tiling scheme bound to its kernel and inputs.
 type Plan struct {
@@ -235,21 +256,29 @@ type Plan struct {
 	TileFactor int
 	// PredictedMB is the model's traffic estimate for Config.
 	PredictedMB float64
+	// Risk summarizes the risk-aware sizing decision; nil on the
+	// conservative path (OverflowTarget 0, no calibration).
+	Risk *RiskSummary
 
 	kernel *Kernel
 	inputs Inputs
 	// workers is the worker-pool bound the plan was optimized with
 	// (0 = all cores); Measure reuses it for the measurement backend.
 	workers int
+	// bufferWords is the optimization's buffer budget; overbooked plans
+	// measure with it so overflow traffic is metered honestly.
+	bufferWords int
 }
 
 // lower converts the public options to the optimizer's.
 func (opts Options) lower() optimizer.Options {
 	o := optimizer.Options{
-		BufferWords:  opts.BufferWords,
-		DisableCorrs: opts.DisableCorrs,
-		SkipResize:   opts.SkipResize,
-		Workers:      opts.Workers,
+		BufferWords:    opts.BufferWords,
+		DisableCorrs:   opts.DisableCorrs,
+		SkipResize:     opts.SkipResize,
+		Workers:        opts.Workers,
+		OverflowTarget: opts.OverflowTarget,
+		Calibrate:      opts.Calibrate,
 	}
 	if opts.Analytic {
 		o.Mode = model.ModeAnalytic
@@ -258,7 +287,7 @@ func (opts Options) lower() optimizer.Options {
 }
 
 // newPlan wraps an optimizer result as a public Plan.
-func newPlan(res *optimizer.Result, k *Kernel, inputs Inputs, workers int) *Plan {
+func newPlan(res *optimizer.Result, k *Kernel, inputs Inputs, workers, bufferWords int) *Plan {
 	cfg := make(TileConfig, len(res.Config))
 	for ix, v := range res.Config {
 		cfg[ix] = v
@@ -269,9 +298,11 @@ func newPlan(res *optimizer.Result, k *Kernel, inputs Inputs, workers int) *Plan
 		RF:          res.RF,
 		TileFactor:  res.TileFactor,
 		PredictedMB: res.Predicted.Total() * 4 / (1 << 20),
+		Risk:        res.Risk,
 		kernel:      k,
 		inputs:      inputs,
 		workers:     workers,
+		bufferWords: bufferWords,
 	}
 }
 
@@ -290,7 +321,7 @@ func OptimizeCtx(ctx context.Context, k *Kernel, inputs Inputs, opts Options) (*
 	if err != nil {
 		return nil, err
 	}
-	return newPlan(res, k, inputs, opts.Workers), nil
+	return newPlan(res, k, inputs, opts.Workers, opts.BufferWords), nil
 }
 
 // OptimizeDataflow extends Optimize by also choosing the dataflow order:
@@ -303,7 +334,7 @@ func OptimizeDataflow(k *Kernel, inputs Inputs, opts Options) (*Plan, []string, 
 	if err != nil {
 		return nil, nil, err
 	}
-	plan := newPlan(res, &Kernel{expr: res.Expr}, inputs, opts.Workers)
+	plan := newPlan(res, &Kernel{expr: res.Expr}, inputs, opts.Workers, opts.BufferWords)
 	return plan, append([]string(nil), res.Expr.Order...), nil
 }
 
@@ -321,6 +352,16 @@ type TrafficReport struct {
 
 // TotalWords returns input + output traffic in words.
 func (r *TrafficReport) TotalWords() int64 { return r.traffic.Total() }
+
+// OverflowRate returns the fraction of input tile fetches that
+// overflowed the modeled buffer — 0 unless the measurement ran under an
+// overbooked buffer (a plan with a positive OverflowTarget).
+func (r *TrafficReport) OverflowRate() float64 {
+	if r.traffic.InputFetches == 0 {
+		return 0
+	}
+	return float64(r.traffic.OverflowFetches) / float64(r.traffic.InputFetches)
+}
 
 // TotalMB returns total traffic in megabytes.
 func (r *TrafficReport) TotalMB() float64 { return r.traffic.TotalMB() }
@@ -343,7 +384,14 @@ func (p *Plan) MeasureCtx(ctx context.Context) (*TrafficReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := exec.MeasureCtx(ctx, p.kernel.expr, tiled, &exec.Options{Workers: par.Workers(p.workers)})
+	eo := &exec.Options{Workers: par.Workers(p.workers)}
+	if p.Risk != nil && p.Risk.OverflowTarget > 0 {
+		// Overbooked plans measure under the buffer model they were
+		// costed with, so overflow re-streaming shows up in the traffic.
+		eo.InputBufferWords = p.bufferWords
+		eo.OverflowExtra = p.Risk.OverflowExtra
+	}
+	res, err := exec.MeasureCtx(ctx, p.kernel.expr, tiled, eo)
 	if err != nil {
 		return nil, err
 	}

@@ -105,6 +105,35 @@ func TestEnergyModel(t *testing.T) {
 	}
 }
 
+// TestOverbookingEnergy: the energy-side validation of risk-aware
+// sizing — an overbooked run whose reuse savings beat its overflow
+// premium comes out ahead, and the measured overflow rate is reported
+// from the machine counters, not the model.
+func TestOverbookingEnergy(t *testing.T) {
+	m := DefaultEnergy()
+	cons := traffic(10000, 500, 100)
+	cons.InputFetches = 200
+	over := traffic(7000, 500, 40) // premium already priced into the words
+	over.InputFetches = 100
+	over.OverflowFetches = 5
+
+	ratio, rate := OverbookingEnergy(cons, over, m)
+	if ratio <= 1 {
+		t.Fatalf("ratio = %v, want > 1 for the cheaper overbooked run", ratio)
+	}
+	if want := EnergyImprovement(cons, over, m); ratio != want {
+		t.Fatalf("ratio = %v, want EnergyImprovement %v", ratio, want)
+	}
+	if rate != 0.05 {
+		t.Fatalf("overflow rate = %v, want 0.05", rate)
+	}
+
+	// No fetch counters (analytic traffic): rate degrades to 0, not NaN.
+	if _, rate := OverbookingEnergy(cons, traffic(7000, 0, 0), m); rate != 0 {
+		t.Fatalf("rate without fetch counters = %v, want 0", rate)
+	}
+}
+
 func TestRoofline(t *testing.T) {
 	a := Extensor() // ridge = 128 / 64 B = 2 MACs/byte
 	memBound := traffic(100000, 1000, 0)

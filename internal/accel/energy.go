@@ -47,3 +47,20 @@ func EnergyImprovement(reference, target *exec.Traffic, m EnergyModel) float64 {
 	}
 	return EnergyPJ(reference, m) / te
 }
+
+// OverbookingEnergy validates the energy side of risk-aware sizing
+// (DESIGN.md §18): both runs must be measured under the same buffer
+// model, so the overbooked traffic already carries its overflow
+// re-streaming premium in the input words (exec charges
+// OverflowExtra × (footprint − buffer) per overflowing fetch). Returns
+// the conservative-over-overbooked energy ratio — above 1 means the
+// larger tiles' reuse savings paid for the overflow penalty — and the
+// overbooked run's measured overflow rate for checking against the
+// optimizer's target.
+func OverbookingEnergy(conservative, overbooked *exec.Traffic, m EnergyModel) (ratio, overflowRate float64) {
+	ratio = EnergyImprovement(conservative, overbooked, m)
+	if overbooked.InputFetches > 0 {
+		overflowRate = float64(overbooked.OverflowFetches) / float64(overbooked.InputFetches)
+	}
+	return ratio, overflowRate
+}

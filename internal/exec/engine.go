@@ -225,6 +225,7 @@ func (s *engineState) fetchAt(d int) {
 		er := &p.refs[ri]
 		lp := next[ri]
 		s.inputWords[ri] += er.cost[lp]
+		s.traffic.InputFetches++
 		if er.over[lp] {
 			s.traffic.OverflowFetches++
 		}
@@ -525,6 +526,7 @@ func (s *engineState) mergeInto(r *runner) {
 	r.traffic.TileIterations += s.traffic.TileIterations
 	r.traffic.MACs += s.traffic.MACs
 	r.traffic.OutputNNZ += s.traffic.OutputNNZ
+	r.traffic.InputFetches += s.traffic.InputFetches
 	r.traffic.OverflowFetches += s.traffic.OverflowFetches
 	r.traffic.OutputOverflows += s.traffic.OutputOverflows
 	if r.collect != nil {

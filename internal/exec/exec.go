@@ -39,6 +39,7 @@ type Traffic struct {
 	TileIterations  int64 // leaf iterations with work
 	MACs            int64 // scalar multiplications performed
 	OutputNNZ       int64 // summed nnz of written partial output tiles
+	InputFetches    int64 // input tile fetches (overflowing or not)
 	OverflowFetches int64 // fetches of tiles exceeding the input buffer
 	OutputOverflows int64 // extra chunk writes of overflowing output tiles
 }
@@ -231,6 +232,18 @@ func newRunner(e *einsum.Expr, tensors map[string]*tiling.TiledTensor, opts *Opt
 	if opts != nil {
 		r.opts = *opts
 	}
+	// Negative buffer knobs would silently flip the overflow arithmetic
+	// (both here and in the compiled engine, which predecodes the same
+	// per-fetch cost) — reject them loudly.
+	if r.opts.InputBufferWords < 0 {
+		return nil, fmt.Errorf("exec: InputBufferWords must be >= 0, got %d", r.opts.InputBufferWords)
+	}
+	if r.opts.OverflowExtra < 0 {
+		return nil, fmt.Errorf("exec: OverflowExtra must be >= 0, got %v", r.opts.OverflowExtra)
+	}
+	if r.opts.OutputBufferWords < 0 {
+		return nil, fmt.Errorf("exec: OutputBufferWords must be >= 0, got %d", r.opts.OutputBufferWords)
+	}
 
 	varTile := make(map[string]int) // tile size per index var
 	varDim := make(map[string]int)  // full size per index var
@@ -382,6 +395,7 @@ func (r *runner) mergeFrom(sub *runner) {
 	r.traffic.TileIterations += sub.traffic.TileIterations
 	r.traffic.MACs += sub.traffic.MACs
 	r.traffic.OutputNNZ += sub.traffic.OutputNNZ
+	r.traffic.InputFetches += sub.traffic.InputFetches
 	r.traffic.OverflowFetches += sub.traffic.OverflowFetches
 	r.traffic.OutputOverflows += sub.traffic.OutputOverflows
 	if r.collect != nil {
@@ -556,6 +570,7 @@ func (r *runner) walk(d int, cursors []int32) bool {
 					continue
 				}
 				if tile := r.tileOf(st); tile != nil {
+					r.traffic.InputFetches++
 					cost := int64(tile.Footprint)
 					if r.opts.ValuesOnly {
 						cost = int64(tile.NNZ())

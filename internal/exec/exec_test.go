@@ -219,6 +219,37 @@ func TestMeasureErrors(t *testing.T) {
 	}
 }
 
+// TestOptionsValidation: negative buffer knobs would silently flip the
+// overflow arithmetic, so Measure must reject them loudly instead of
+// producing garbage traffic.
+func TestOptionsValidation(t *testing.T) {
+	e := einsum.SpMSpMIKJ()
+	a := tensor.New(4, 4)
+	a.Append([]int{0, 0}, 1)
+	ttA, _ := tiling.New(a, []int{2, 2}, []int{0, 1})
+	ttB, _ := tiling.New(a, []int{2, 2}, []int{0, 1})
+	tens := map[string]*tiling.TiledTensor{"A": ttA, "B": ttB}
+	cases := []struct {
+		name string
+		o    *Options
+		want string
+	}{
+		{"negative input buffer", &Options{InputBufferWords: -1}, "InputBufferWords"},
+		{"negative overflow extra", &Options{OverflowExtra: -2}, "OverflowExtra"},
+		{"negative output buffer", &Options{OutputBufferWords: -3}, "OutputBufferWords"},
+	}
+	for _, tc := range cases {
+		_, err := Measure(e, tens, tc.o)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %s", tc.name, err, tc.want)
+		}
+	}
+	// Zero values stay valid (the overflow model simply off).
+	if _, err := Measure(e, tens, &Options{}); err != nil {
+		t.Errorf("zero options rejected: %v", err)
+	}
+}
+
 func TestTTMCorrectness(t *testing.T) {
 	r := rand.New(rand.NewSource(10))
 	c := gen.RandomTensor3(r, 12, 10, 8, 200, [3]float64{0, 0, 0})

@@ -26,6 +26,7 @@ func All() []Experiment {
 		{"sec67", "packed tiles without retiling", Sec67},
 		{"ext-refine", "cross-operand refinement ablation (extension)", ExtRefine},
 		{"ext-reorder", "degree reordering preprocessing (extension)", ExtReorder},
+		{"ext-overbook", "risk-aware overbooking traffic/risk sweep (extension)", ExtOverbook},
 		{"coldpipe", "cold-pipeline serial vs parallel wall clock (extension)", ColdPipe},
 	}
 }

@@ -235,8 +235,8 @@ func TestSec67Quick(t *testing.T) {
 
 func TestAllRegistry(t *testing.T) {
 	exps := All()
-	if len(exps) != 15 {
-		t.Fatalf("registry has %d experiments, want 15", len(exps))
+	if len(exps) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

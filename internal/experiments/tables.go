@@ -44,14 +44,13 @@ func Table4(s *Suite) (*Table, error) {
 	return tbl, nil
 }
 
-// higherOrderImprovement runs one tensor kernel with D2T2 and
-// Conservative tiling and returns the traffic ratio.
-func higherOrderImprovement(e *einsum.Expr, t3 *tensor.COO, density float64, s *Suite, tag string) (float64, error) {
+// higherOrderInputs binds the kernel's order-3 operand to t3 and
+// generates random matrix operands with dimensions compatible with the
+// kernel's index variables (Table 3: random matrices sized from the
+// tensor dimensions, at the given density).
+func higherOrderInputs(e *einsum.Expr, t3 *tensor.COO, density float64, tag string) map[string]*tensor.COO {
 	r := seededRand(tag)
 	inputs := map[string]*tensor.COO{}
-	// Bind the order-3 operand and generate random matrix operands with
-	// dimensions compatible with the kernel's index variables (Table 3:
-	// random matrices sized from the tensor dimensions).
 	dims := map[string]int{}
 	for _, ref := range e.Inputs() {
 		if len(ref.Indices) == 3 {
@@ -86,6 +85,13 @@ func higherOrderImprovement(e *einsum.Expr, t3 *tensor.COO, density float64, s *
 			inputs[ref.Name] = gen.UniformRandom(r, d[0], d[1], nnz)
 		}
 	}
+	return inputs
+}
+
+// higherOrderImprovement runs one tensor kernel with D2T2 and
+// Conservative tiling and returns the traffic ratio.
+func higherOrderImprovement(e *einsum.Expr, t3 *tensor.COO, density float64, s *Suite, tag string) (float64, error) {
+	inputs := higherOrderInputs(e, t3, density, tag)
 
 	// Buffer: a dense order-3 conservative tile of the suite's 3-d side.
 	side := s.TileSide / 4

@@ -64,6 +64,12 @@ type Predictor struct {
 	// computation of refine.go, leaving the paper's pure mean-field model
 	// even in ModeExact.
 	DisableRefinement bool
+	// Calib, when non-nil, scales every prediction by the workload class
+	// CalibClass's residual bias learned from measurement-backend
+	// calibration runs (refine.go). Nil — the default — leaves the raw
+	// model untouched.
+	Calib      *Calibration
+	CalibClass string
 
 	// Shape-evaluation memo: EvalShape is a full pass over the micro-tile
 	// summary and the optimizer's sweep re-derives the same snapped shape
@@ -408,6 +414,21 @@ func (p *Predictor) Predict(cfg Config) (*Prediction, error) {
 	}
 	if !refined {
 		pred.Output = p.predictOutput(cfg, views, prods, outerN)
+	}
+
+	// Per-workload-class calibration bias (refine.go): a uniform scale on
+	// every traffic term, so rankings between configs are unchanged while
+	// the absolute level converges toward the measurement backend. The
+	// nil/unseen case multiplies by exactly 1 and is skipped, keeping the
+	// uncalibrated path byte-identical.
+	if p.Calib != nil {
+		//d2t2:ignore floatdeterminism Bias returns the exact literal 1 for nil/unseen classes; skipping that neutral multiply keeps uncalibrated predictions byte-identical
+		if f := p.Calib.Bias(p.CalibClass); f != 1 {
+			for k := range pred.Input {
+				pred.Input[k] *= f
+			}
+			pred.Output *= f
+		}
 	}
 	return pred, nil
 }

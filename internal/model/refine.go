@@ -1,6 +1,11 @@
 package model
 
-import "d2t2/internal/stats"
+import (
+	"math"
+	"sync"
+
+	"d2t2/internal/stats"
+)
 
 // Cross-operand input-traffic refinement (ModeExact only).
 //
@@ -301,5 +306,91 @@ func maxFloat(a, b float64) float64 {
 	if a > b {
 		return a
 	}
+	return b
+}
+
+// Calibration residuals (risk-aware optimization, DESIGN.md §18).
+//
+// The model's absolute traffic level carries a workload-dependent bias
+// (metadata aggregation, mean-field terms outside the refinement's
+// applicability). Since PR 8 the measurement backend is cheap enough to
+// close the loop: a calibration run executes the chosen config, compares
+// measured against predicted traffic, and folds the residual into a
+// per-workload-class multiplicative bias. Predictions scale uniformly by
+// the class bias, so candidate *rankings* (and thus chosen configs) are
+// unchanged — only the absolute traffic level converges toward the
+// measurement, geometrically: each observation takes a half step in log
+// space, so the log-residual halves per calibration run.
+
+// calibMinBias/calibMaxBias bound the learned correction so one
+// pathological measurement cannot poison a class.
+const (
+	calibMinBias = 0.25
+	calibMaxBias = 4.0
+)
+
+// Calibration accumulates per-workload-class residual biases. The zero
+// value is not usable; use NewCalibration. All methods are safe for
+// concurrent use.
+type Calibration struct {
+	mu   sync.Mutex
+	bias map[string]float64
+	runs map[string]int
+}
+
+// NewCalibration returns an empty calibration store (every class bias 1).
+func NewCalibration() *Calibration {
+	return &Calibration{bias: make(map[string]float64), runs: make(map[string]int)}
+}
+
+// Bias returns the multiplicative correction for a workload class; 1 for
+// a class never observed.
+func (c *Calibration) Bias(class string) float64 {
+	if c == nil {
+		return 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.bias[class]; ok {
+		return b
+	}
+	return 1
+}
+
+// Runs returns how many observations a class has absorbed.
+func (c *Calibration) Runs(class string) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runs[class]
+}
+
+// Observe folds one (predicted, measured) traffic pair — predicted
+// already includes the current bias — into the class and returns the
+// updated bias: bias ← clamp(bias × √(measured/predicted)). With a
+// stable workload the residual ratio r = measured/predicted evolves as
+// r ← √r, so |log r| halves monotonically run over run.
+func (c *Calibration) Observe(class string, predicted, measured float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.bias[class]
+	if !ok {
+		b = 1
+	}
+	c.runs[class]++
+	if predicted <= 0 || measured <= 0 {
+		return b
+	}
+	ratio := measured / predicted
+	b *= math.Sqrt(ratio)
+	if b < calibMinBias {
+		b = calibMinBias
+	}
+	if b > calibMaxBias {
+		b = calibMaxBias
+	}
+	c.bias[class] = b
 	return b
 }

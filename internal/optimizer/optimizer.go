@@ -77,6 +77,31 @@ type Options struct {
 	// predictor (0 = all cores). Results are byte-identical at any
 	// worker count.
 	Workers int
+	// OverflowTarget enables risk-aware sizing (Tailors-style
+	// overbooking, DESIGN.md §18): the acceptable predicted probability
+	// that a tile fetched by the measurement machine overflows the input
+	// buffer. 0 — the default — keeps the worst-case conservative
+	// pipeline, byte-identical to previous releases. Positive targets
+	// replace the Eq. 22 MaxTile seed with the (1−target) footprint
+	// quantile and cost candidates with overflow-adjusted traffic. Must
+	// be in [0, 1).
+	OverflowTarget float64
+	// OverflowExtra is the extra traffic charged per excess word on each
+	// overflowing fetch when costing overbooked candidates — the same
+	// coefficient exec.Options.OverflowExtra applies when measuring
+	// (default 1.0: the excess crosses memory twice). Must be >= 0.
+	OverflowExtra float64
+	// Calibrate runs the measurement backend on the chosen config after
+	// optimization, compares measured against predicted traffic, and
+	// folds the residual into Calibration (a per-call store when nil).
+	// Requires raw input tensors (stats-only precollection cannot be
+	// measured). The outcome lands in Result.Risk.Calibration.
+	Calibrate bool
+	// Calibration is the per-workload-class residual-bias store
+	// calibration runs feed and predictions consult. Nil leaves the raw
+	// model; d2t2.Session supplies a session-lifetime store so repeated
+	// calibrated optimizes converge.
+	Calibration *model.Calibration
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +117,10 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxGrowthDoublings == 0 {
 		o.MaxGrowthDoublings = 10
+	}
+	//d2t2:ignore floatdeterminism zero-value sentinel for an unset Options field, not a computed float
+	if o.OverflowExtra == 0 {
+		o.OverflowExtra = 1
 	}
 	return o
 }
@@ -111,9 +140,14 @@ type Result struct {
 	// Config is the final per-index tile configuration.
 	Config model.Config
 	// RF is the chosen reorder factor; TileFactor the Eq. 22 bound that
-	// seeded size growth.
+	// seeded size growth (the percentile variant under a positive
+	// OverflowTarget).
 	RF         float64
 	TileFactor int
+	// Risk summarizes the risk-aware sizing decision and any calibration
+	// run. Nil on the conservative path (OverflowTarget 0, Calibrate
+	// off), keeping that Result byte-identical to previous releases.
+	Risk *RiskReport
 	// Stats and BaseTiling are reusable byproducts of the initial pass.
 	Stats      map[string]*stats.Stats
 	BaseTiling map[string]*tiling.TiledTensor
@@ -138,6 +172,12 @@ func OptimizeCtx(ctx context.Context, e *einsum.Expr, inputs map[string]*tensor.
 	o := opts.withDefaults()
 	if o.BufferWords <= 0 {
 		return nil, fmt.Errorf("optimizer: BufferWords must be positive")
+	}
+	if o.OverflowTarget < 0 || o.OverflowTarget >= 1 {
+		return nil, fmt.Errorf("optimizer: OverflowTarget %v outside [0, 1)", o.OverflowTarget)
+	}
+	if o.OverflowExtra < 0 {
+		return nil, fmt.Errorf("optimizer: OverflowExtra %v must be >= 0", o.OverflowExtra)
 	}
 	if err := e.Validate(); err != nil {
 		return nil, err
@@ -214,6 +254,10 @@ func OptimizeCtx(ctx context.Context, e *einsum.Expr, inputs map[string]*tensor.
 	pred.Mode = o.Mode
 	pred.UseCorrs = !o.DisableCorrs
 	pred.DisableRefinement = o.DisableRefinement
+	if o.Calibration != nil {
+		pred.Calib = o.Calibration
+		pred.CalibClass = CalibClass(e, o.Mode)
+	}
 
 	// 3. Shape optimization.
 	upIdx, downIdxs := shapeAxes(e)
@@ -272,20 +316,27 @@ func OptimizeCtx(ctx context.Context, e *einsum.Expr, inputs map[string]*tensor.
 	type swept struct {
 		fits bool
 		p    *model.Prediction
+		cost float64 // overflow-adjusted total; only set under a positive OverflowTarget
 	}
 	sweeps, err := par.MapCtx(ctx, o.Workers, len(uniq), func(i int) (swept, error) {
 		uc := uniq[i]
 		// Area-preserving reshapes still change the CSF *metadata*
 		// footprint (tall tiles carry more fibers and segment bounds), so
 		// the fit guarantee must be re-checked per candidate against the
-		// conservative upper bound.
+		// conservative upper bound — or, under a positive OverflowTarget,
+		// against the predicted per-operand overflow rate.
 		fitsShape := true
 		for _, ref := range e.Inputs() {
 			sh, err := pred.EvalRef(ref, uc.cfg)
 			if err != nil {
 				return swept{}, err
 			}
-			if sh.MaxTileBound > o.BufferWords {
+			if o.OverflowTarget > 0 {
+				if rate, _ := sh.OverflowStats(float64(o.BufferWords)); rate > o.OverflowTarget {
+					fitsShape = false
+					break
+				}
+			} else if sh.MaxTileBound > o.BufferWords {
 				fitsShape = false
 				break
 			}
@@ -297,7 +348,15 @@ func OptimizeCtx(ctx context.Context, e *einsum.Expr, inputs map[string]*tensor.
 		if err != nil {
 			return swept{}, err
 		}
-		return swept{fits: fitsShape, p: p}, nil
+		sw := swept{fits: fitsShape, p: p}
+		if o.OverflowTarget > 0 {
+			rk, err := evalRisk(pred, e, uc.cfg, p, o)
+			if err != nil {
+				return swept{}, err
+			}
+			sw.cost = p.Total() + rk.premium
+		}
+		return sw, nil
 	})
 	if err != nil {
 		return nil, err
@@ -307,6 +366,7 @@ func OptimizeCtx(ctx context.Context, e *einsum.Expr, inputs map[string]*tensor.
 	// first-strict-minimum pick is byte-identical to the pre-dedupe sweep.
 	type keptCand struct {
 		pos  int
+		cost float64
 		cand Candidate
 	}
 	kept := make([]keptCand, 0, len(uniq))
@@ -319,12 +379,19 @@ func OptimizeCtx(ctx context.Context, e *einsum.Expr, inputs map[string]*tensor.
 		if !sw.fits {
 			pos, rf = uc.rf1Idx, 1
 		}
-		kept = append(kept, keptCand{pos: pos, cand: Candidate{RF: rf, Config: uc.cfg, Predicted: sw.p}})
+		kept = append(kept, keptCand{pos: pos, cost: sw.cost, cand: Candidate{RF: rf, Config: uc.cfg, Predicted: sw.p}})
 	}
 	sort.Slice(kept, func(x, y int) bool { return kept[x].pos < kept[y].pos })
+	bestCost := 0.0
 	for _, kc := range kept {
 		res.Candidates = append(res.Candidates, kc.cand)
-		if best < 0 || kc.cand.Predicted.Total() < res.Candidates[best].Predicted.Total() {
+		if o.OverflowTarget > 0 {
+			// First strict minimum of the overflow-adjusted total.
+			if best < 0 || kc.cost < bestCost {
+				best = len(res.Candidates) - 1
+				bestCost = kc.cost
+			}
+		} else if best < 0 || kc.cand.Predicted.Total() < res.Candidates[best].Predicted.Total() {
 			best = len(res.Candidates) - 1
 		}
 	}
@@ -335,7 +402,12 @@ func OptimizeCtx(ctx context.Context, e *einsum.Expr, inputs map[string]*tensor.
 
 	// 4. Size optimization.
 	if !o.SkipResize {
-		if err := res.grow(ctx, pred, upIdx, o); err != nil {
+		if o.OverflowTarget > 0 {
+			err = res.growRisk(ctx, pred, upIdx, o)
+		} else {
+			err = res.grow(ctx, pred, upIdx, o)
+		}
+		if err != nil {
 			return nil, err
 		}
 		p, err := pred.Predict(res.Config)
@@ -343,6 +415,22 @@ func OptimizeCtx(ctx context.Context, e *einsum.Expr, inputs map[string]*tensor.
 			return nil, err
 		}
 		res.Predicted = p
+	}
+
+	// 5. Risk report + calibration. Both are gated on their knobs, so the
+	// conservative path (OverflowTarget 0, Calibrate off) never reaches
+	// this code and stays byte-identical.
+	if o.OverflowTarget > 0 {
+		rk, err := evalRisk(pred, e, res.Config, res.Predicted, o)
+		if err != nil {
+			return nil, err
+		}
+		res.Risk = rk.report(o, res.Risk)
+	}
+	if o.Calibrate {
+		if err := res.calibrate(ctx, pred, inputs, o); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }

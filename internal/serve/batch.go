@@ -235,6 +235,11 @@ func (s *Server) batch(w http.ResponseWriter, r *http.Request, internal bool) {
 			s.metrics.add("batch_job_errors", 1)
 			continue
 		}
+		if jr.OverflowTarget < 0 || jr.OverflowTarget >= 1 {
+			out[i].Error = fmt.Sprintf("overflow_target %v outside [0, 1)", jr.OverflowTarget)
+			s.metrics.add("batch_job_errors", 1)
+			continue
+		}
 		if jr.BufferWords <= 0 {
 			tile := jr.Tile
 			if tile <= 0 {
@@ -244,6 +249,9 @@ func (s *Server) batch(w http.ResponseWriter, r *http.Request, internal bool) {
 		}
 		jr.Tile = 0
 		jr.Kernel = k.String()
+		if jr.OverflowTarget > 0 {
+			s.metrics.add("optimize_overbooked", 1)
+		}
 		key, _, err := responseKey("optimize", jr)
 		if err != nil {
 			out[i].Error = err.Error()
@@ -262,10 +270,15 @@ func (s *Server) batch(w http.ResponseWriter, r *http.Request, internal bool) {
 	ctx := r.Context()
 
 	// Warm rung: a key whose response artifact is already held (locally
-	// or on a peer) never reaches compute.
+	// or on a peer) never reaches compute. Calibrated jobs are stateful
+	// and always recompute.
 	var cold []*batchJob
 	for _, key := range order {
 		j := jobs[key]
+		if j.req.Calibrate {
+			cold = append(cold, j)
+			continue
+		}
 		if b, src := s.storeGet(ctx, key); b != nil {
 			if body, ok := decodeResponseArtifact(b); ok {
 				s.metrics.add("batch_cache_hits", int64(len(j.results)))
@@ -327,10 +340,11 @@ func (s *Server) runBatchLocal(ctx context.Context, local []*batchJob, out []bat
 			continue
 		}
 		if err := s.session.PrecollectCtx(ctx, j.k, inputs, d2t2.Options{
-			BufferWords:  j.req.BufferWords,
-			Analytic:     j.req.Analytic,
-			DisableCorrs: j.req.DisableCorrs,
-			SkipResize:   j.req.SkipResize,
+			BufferWords:    j.req.BufferWords,
+			Analytic:       j.req.Analytic,
+			DisableCorrs:   j.req.DisableCorrs,
+			SkipResize:     j.req.SkipResize,
+			OverflowTarget: j.req.OverflowTarget,
 		}); err != nil {
 			s.failBatchJob(out, j, err)
 			continue
@@ -350,11 +364,13 @@ func (s *Server) runBatchLocal(ctx context.Context, local []*batchJob, out []bat
 	perr := par.ForEachCtx(ctx, s.cfg.Workers, len(live), func(i int) error {
 		j := live[i]
 		plan, err := s.session.OptimizeCtx(ctx, j.k, j.inputs, d2t2.Options{
-			BufferWords:  j.req.BufferWords,
-			Analytic:     j.req.Analytic,
-			DisableCorrs: j.req.DisableCorrs,
-			SkipResize:   j.req.SkipResize,
-			Workers:      perJob,
+			BufferWords:    j.req.BufferWords,
+			Analytic:       j.req.Analytic,
+			DisableCorrs:   j.req.DisableCorrs,
+			SkipResize:     j.req.SkipResize,
+			Workers:        perJob,
+			OverflowTarget: j.req.OverflowTarget,
+			Calibrate:      j.req.Calibrate,
 		})
 		if err != nil {
 			s.failBatchJob(out, j, err)
@@ -367,6 +383,10 @@ func (s *Server) runBatchLocal(ctx context.Context, local []*batchJob, out []bat
 			RF:          plan.RF,
 			TileFactor:  plan.TileFactor,
 			PredictedMB: plan.PredictedMB,
+			Risk:        riskOf(plan),
+		}
+		if plan.Risk != nil && plan.Risk.Calibration != nil {
+			s.metrics.add("calibration_runs", 1)
 		}
 		if j.req.Measure {
 			report, err := plan.MeasureCtx(ctx)
@@ -376,8 +396,17 @@ func (s *Server) runBatchLocal(ctx context.Context, local []*batchJob, out []bat
 			}
 			mb := report.TotalMB()
 			resp.MeasuredMB = &mb
+			if resp.Risk != nil {
+				rate := report.OverflowRate()
+				resp.Risk.MeasuredOverflowRate = &rate
+			}
 		}
-		body, err := s.marshalAndPersist(j.key, resp)
+		var body []byte
+		if j.req.Calibrate {
+			body, err = marshalBody(resp)
+		} else {
+			body, err = s.marshalAndPersist(j.key, resp)
+		}
 		if err != nil {
 			s.failBatchJob(out, j, err)
 			return nil
@@ -426,7 +455,9 @@ func (s *Server) forwardBatch(ctx context.Context, owner string, group []*batchJ
 			s.failBatchJob(out, j, fmt.Errorf("owner %s: %s", owner, jr.Error))
 			continue
 		}
-		s.persistResponseBytes(j.key, jr.Response, false)
+		if !j.req.Calibrate {
+			s.persistResponseBytes(j.key, jr.Response, false)
+		}
 		s.metrics.add("batch_forwarded_jobs", int64(len(j.results)))
 		s.fillBatchJob(out, j, "forwarded", jr.Response)
 	}

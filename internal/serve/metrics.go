@@ -31,6 +31,8 @@ var counterNames = []string{
 	"stats_collect_total",
 	"optimize_total",
 	"optimize_cache_hits",
+	"optimize_overbooked",
+	"calibration_runs",
 	"predict_total",
 	"predict_cache_hits",
 	"stats_queries_total",

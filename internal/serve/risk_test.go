@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// riskBody is the risk sub-object of an optimize response.
+type riskBody struct {
+	OverflowTarget        float64  `json:"overflowTarget"`
+	PercentileTile        int      `json:"percentileTile"`
+	PredictedOverflowRate float64  `json:"predictedOverflowRate"`
+	BufferUtilization     float64  `json:"bufferUtilization"`
+	MeasuredOverflowRate  *float64 `json:"measuredOverflowRate"`
+	CalibrationResidual   *float64 `json:"calibrationResidual"`
+	CalibrationBias       *float64 `json:"calibrationBias"`
+}
+
+// TestRiskEndToEnd drives risk-aware optimization through the HTTP
+// surface: the overbooked point gets its own response key and
+// X-D2T2-Risk header (no aliasing against the conservative point,
+// warm or cold), calibrated requests bypass the response cache on every
+// repeat, and the counters account for both.
+func TestRiskEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	id := ingestGen(t, ts.URL, "C", 1<<20)
+
+	conservative := map[string]any{
+		"kernel": testKernel,
+		"inputs": map[string]string{"A": id, "B": id},
+		"tile":   32,
+	}
+	overbooked := map[string]any{
+		"kernel":          testKernel,
+		"inputs":          map[string]string{"A": id, "B": id},
+		"tile":            32,
+		"overflow_target": 0.05,
+	}
+
+	// Conservative cold run: no risk header, no risk object.
+	cons, consBody := postJSON(t, ts.URL+"/v1/optimize", conservative)
+	if cons.StatusCode != http.StatusOK {
+		t.Fatalf("conservative optimize: status %d: %s", cons.StatusCode, consBody)
+	}
+	if h := cons.Header.Get("X-D2T2-Risk"); h != "" {
+		t.Fatalf("conservative response carries X-D2T2-Risk %q", h)
+	}
+	if bytes.Contains(consBody, []byte(`"risk"`)) {
+		t.Fatalf("conservative response carries a risk object: %s", consBody)
+	}
+
+	// Overbooked cold run: distinct response key (miss, not the cached
+	// conservative bytes), risk header and risk object present.
+	over, overBody := postJSON(t, ts.URL+"/v1/optimize", overbooked)
+	if over.StatusCode != http.StatusOK {
+		t.Fatalf("overbooked optimize: status %d: %s", over.StatusCode, overBody)
+	}
+	if got := over.Header.Get("X-D2T2-Cache"); got != "miss" {
+		t.Fatalf("overbooked point aliased the conservative cache entry (header %q)", got)
+	}
+	if got := over.Header.Get("X-D2T2-Risk"); got != "target=0.05" {
+		t.Fatalf("X-D2T2-Risk = %q, want target=0.05", got)
+	}
+	if bytes.Equal(overBody, consBody) {
+		t.Fatal("overbooked response identical to conservative response")
+	}
+	if got := s.Metric("optimize_overbooked"); got != 1 {
+		t.Fatalf("optimize_overbooked = %d, want 1", got)
+	}
+	var overResp struct {
+		Risk *riskBody `json:"risk"`
+	}
+	if err := json.Unmarshal(overBody, &overResp); err != nil || overResp.Risk == nil {
+		t.Fatalf("overbooked response has no risk object (err %v): %s", err, overBody)
+	}
+	if overResp.Risk.OverflowTarget != 0.05 || overResp.Risk.BufferUtilization <= 0 {
+		t.Fatalf("implausible risk object: %+v", overResp.Risk)
+	}
+	if overResp.Risk.CalibrationResidual != nil {
+		t.Fatalf("uncalibrated response reports a calibration residual: %+v", overResp.Risk)
+	}
+
+	// Warm overbooked run: cache hit on its own key, byte-identical, risk
+	// header still present (it derives from the request, not the job).
+	warm, warmBody := postJSON(t, ts.URL+"/v1/optimize", overbooked)
+	if warm.Header.Get("X-D2T2-Cache") != "hit" || !bytes.Equal(warmBody, overBody) {
+		t.Fatalf("warm overbooked run not served byte-identically from cache")
+	}
+	if got := warm.Header.Get("X-D2T2-Risk"); got != "target=0.05" {
+		t.Fatalf("warm X-D2T2-Risk = %q, want target=0.05", got)
+	}
+
+	// The conservative entry is untouched by the risk point.
+	consWarm, consWarmBody := postJSON(t, ts.URL+"/v1/optimize", conservative)
+	if consWarm.Header.Get("X-D2T2-Cache") != "hit" || !bytes.Equal(consWarmBody, consBody) {
+		t.Fatalf("conservative cache entry disturbed by the risk point")
+	}
+
+	// Out-of-range target is a 400, not a silent clamp.
+	bad, badBody := postJSON(t, ts.URL+"/v1/optimize", map[string]any{
+		"kernel":          testKernel,
+		"inputs":          map[string]string{"A": id, "B": id},
+		"tile":            32,
+		"overflow_target": 1.5,
+	})
+	if bad.StatusCode != http.StatusBadRequest || !strings.Contains(string(badBody), "overflow_target") {
+		t.Fatalf("overflow_target 1.5: status %d body %s", bad.StatusCode, badBody)
+	}
+}
+
+// TestCalibratedRequestsBypassCache: calibration advances session state,
+// so repeated calibrated optimizes must re-run (never cache-hit), bump
+// calibration_runs each time, and report a shrinking residual.
+func TestCalibratedRequestsBypassCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	id := ingestGen(t, ts.URL, "C", 1<<20)
+
+	calReq := map[string]any{
+		"kernel":          testKernel,
+		"inputs":          map[string]string{"A": id, "B": id},
+		"tile":            32,
+		"overflow_target": 0.05,
+		"calibrate":       true,
+	}
+	var residuals []float64
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/optimize", calReq)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("calibrated optimize %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-D2T2-Cache"); got == "hit" {
+			t.Fatalf("calibrated optimize %d served from cache (stateful response must re-run)", i)
+		}
+		if got := resp.Header.Get("X-D2T2-Risk"); got != "target=0.05; calibrate" {
+			t.Fatalf("X-D2T2-Risk = %q", got)
+		}
+		var cr struct {
+			Risk *riskBody `json:"risk"`
+		}
+		if err := json.Unmarshal(body, &cr); err != nil || cr.Risk == nil || cr.Risk.CalibrationResidual == nil {
+			t.Fatalf("calibrated response missing residual (err %v): %s", err, body)
+		}
+		if cr.Risk.CalibrationBias == nil || *cr.Risk.CalibrationBias <= 0 {
+			t.Fatalf("calibrated response missing bias: %s", body)
+		}
+		residuals = append(residuals, *cr.Risk.CalibrationResidual)
+		if got := s.Metric("calibration_runs"); got != int64(i+1) {
+			t.Fatalf("calibration_runs = %d after run %d, want %d", got, i, i+1)
+		}
+	}
+	for i := 1; i < len(residuals); i++ {
+		if residuals[i] >= residuals[i-1] && residuals[i] > 0.01 {
+			t.Errorf("residual did not shrink across service calibrations: %v", residuals)
+		}
+	}
+
+	// A calibrated predict reports the learned class bias.
+	resp, body := postJSON(t, ts.URL+"/v1/predict", map[string]any{
+		"kernel":    testKernel,
+		"inputs":    map[string]string{"A": id, "B": id},
+		"config":    map[string]int{"i": 16, "k": 16, "j": 16},
+		"statsTile": 32,
+		"calibrate": true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("calibrated predict: status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-D2T2-Risk"); got != "target=0; calibrate" {
+		t.Fatalf("calibrated predict X-D2T2-Risk = %q", got)
+	}
+	var pr struct {
+		PredictedMB     float64  `json:"predictedMB"`
+		CalibrationBias *float64 `json:"calibrationBias"`
+	}
+	if err := json.Unmarshal(body, &pr); err != nil || pr.CalibrationBias == nil {
+		t.Fatalf("calibrated predict missing bias (err %v): %s", err, body)
+	}
+	if *pr.CalibrationBias == 1 {
+		t.Fatalf("class bias still 1 after %d calibrations", len(residuals))
+	}
+}

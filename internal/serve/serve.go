@@ -484,6 +484,30 @@ type optimizeRequest struct {
 	SkipResize   bool `json:"skipResize,omitempty"`
 	// Measure additionally executes the plan and reports exact traffic.
 	Measure bool `json:"measure,omitempty"`
+	// OverflowTarget enables risk-aware overbooking (see DESIGN.md §18):
+	// the acceptable predicted tile-overflow probability, in [0, 1).
+	// Zero (or absent) keeps the conservative pipeline and — via
+	// omitempty — the exact canonical bytes and response key previous
+	// releases produced, so risk points never alias conservative ones.
+	OverflowTarget float64 `json:"overflow_target,omitempty"`
+	// Calibrate additionally executes the chosen plan and folds the
+	// measured-vs-predicted residual into the server session's
+	// calibration store. Calibrated responses are stateful (the residual
+	// evolves run over run) so they bypass the response cache entirely.
+	Calibrate bool `json:"calibrate,omitempty"`
+}
+
+// riskResponse mirrors the plan's RiskSummary on the wire; present only
+// for overbooked or calibrated requests (omitempty keeps conservative
+// response bodies byte-identical to previous releases).
+type riskResponse struct {
+	OverflowTarget        float64  `json:"overflowTarget"`
+	PercentileTile        int      `json:"percentileTile"`
+	PredictedOverflowRate float64  `json:"predictedOverflowRate"`
+	BufferUtilization     float64  `json:"bufferUtilization"`
+	MeasuredOverflowRate  *float64 `json:"measuredOverflowRate,omitempty"`
+	CalibrationResidual   *float64 `json:"calibrationResidual,omitempty"`
+	CalibrationBias       *float64 `json:"calibrationBias,omitempty"`
 }
 
 type optimizeResponse struct {
@@ -494,6 +518,7 @@ type optimizeResponse struct {
 	TileFactor  int            `json:"tileFactor"`
 	PredictedMB float64        `json:"predictedMB"`
 	MeasuredMB  *float64       `json:"measuredMB,omitempty"`
+	Risk        *riskResponse  `json:"risk,omitempty"`
 }
 
 type predictRequest struct {
@@ -501,10 +526,20 @@ type predictRequest struct {
 	Inputs    map[string]string `json:"inputs"`
 	Config    map[string]int    `json:"config"`
 	StatsTile int               `json:"statsTile,omitempty"`
+	// OverflowTarget keys risk-separated predictions (a nonzero value
+	// gets its own response key and X-D2T2-Risk header, never aliasing
+	// the conservative point); Calibrate applies the session's learned
+	// residual bias for the kernel's workload class to the prediction —
+	// stateful, so calibrated predicts bypass the response cache.
+	OverflowTarget float64 `json:"overflow_target,omitempty"`
+	Calibrate      bool    `json:"calibrate,omitempty"`
 }
 
 type predictResponse struct {
 	PredictedMB float64 `json:"predictedMB"`
+	// CalibrationBias reports the workload-class bias applied when the
+	// request set calibrate (absent otherwise).
+	CalibrationBias *float64 `json:"calibrationBias,omitempty"`
 }
 
 type statsResponse struct {
@@ -693,6 +728,11 @@ func (s *Server) optimize(w http.ResponseWriter, r *http.Request, internal bool)
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.OverflowTarget < 0 || req.OverflowTarget >= 1 {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("overflow_target %v outside [0, 1)", req.OverflowTarget))
+		return
+	}
 	orders := k.InputOrders()
 	if req.BufferWords <= 0 {
 		tile := req.Tile
@@ -703,6 +743,9 @@ func (s *Server) optimize(w http.ResponseWriter, r *http.Request, internal bool)
 	}
 	req.Tile = 0
 	req.Kernel = k.String()
+	if req.OverflowTarget > 0 {
+		s.metrics.add("optimize_overbooked", 1)
+	}
 
 	key, canon, err := responseKey("optimize", req)
 	if err != nil {
@@ -710,7 +753,14 @@ func (s *Server) optimize(w http.ResponseWriter, r *http.Request, internal bool)
 		return
 	}
 	w.Header().Set("X-D2T2-Key", key)
-	if s.serveCachedResponse(r.Context(), w, key, "optimize_cache_hits") {
+	// The risk header is derived from the request knobs alone, so warm,
+	// coalesced and cold responses all advertise the same risk point.
+	if h := riskHeader(req.OverflowTarget, req.Calibrate); h != "" {
+		w.Header().Set("X-D2T2-Risk", h)
+	}
+	// Calibrated responses are stateful (the class bias advances on every
+	// run), so they never serve from — or land in — the response cache.
+	if !req.Calibrate && s.serveCachedResponse(r.Context(), w, key, "optimize_cache_hits") {
 		return
 	}
 	if !internal && s.cluster != nil && !s.cluster.owns(key) {
@@ -736,10 +786,12 @@ func (s *Server) optimize(w http.ResponseWriter, r *http.Request, internal bool)
 		var jobErr error
 		job := func() {
 			plan, err := s.session.OptimizeCtx(fctx, k, inputs, d2t2.Options{
-				BufferWords:  req.BufferWords,
-				Analytic:     req.Analytic,
-				DisableCorrs: req.DisableCorrs,
-				SkipResize:   req.SkipResize,
+				BufferWords:    req.BufferWords,
+				Analytic:       req.Analytic,
+				DisableCorrs:   req.DisableCorrs,
+				SkipResize:     req.SkipResize,
+				OverflowTarget: req.OverflowTarget,
+				Calibrate:      req.Calibrate,
 			})
 			if err != nil {
 				jobErr = err
@@ -752,6 +804,10 @@ func (s *Server) optimize(w http.ResponseWriter, r *http.Request, internal bool)
 				RF:          plan.RF,
 				TileFactor:  plan.TileFactor,
 				PredictedMB: plan.PredictedMB,
+				Risk:        riskOf(plan),
+			}
+			if plan.Risk != nil && plan.Risk.Calibration != nil {
+				s.metrics.add("calibration_runs", 1)
 			}
 			if req.Measure {
 				report, err := plan.MeasureCtx(fctx)
@@ -761,6 +817,10 @@ func (s *Server) optimize(w http.ResponseWriter, r *http.Request, internal bool)
 				}
 				mb := report.TotalMB()
 				resp.MeasuredMB = &mb
+				if resp.Risk != nil {
+					rate := report.OverflowRate()
+					resp.Risk.MeasuredOverflowRate = &rate
+				}
 			}
 		}
 		if err := s.runCompute(fctx, job); err != nil {
@@ -768,6 +828,9 @@ func (s *Server) optimize(w http.ResponseWriter, r *http.Request, internal bool)
 		}
 		if jobErr != nil {
 			return nil, &pipelineError{err: jobErr}
+		}
+		if req.Calibrate {
+			return marshalBody(resp)
 		}
 		return s.marshalAndPersist(key, resp)
 	})
@@ -801,6 +864,11 @@ func (s *Server) predict(w http.ResponseWriter, r *http.Request, internal bool) 
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.OverflowTarget < 0 || req.OverflowTarget >= 1 {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("overflow_target %v outside [0, 1)", req.OverflowTarget))
+		return
+	}
 	if req.StatsTile <= 0 {
 		req.StatsTile = s.cfg.DefaultStatsTile
 	}
@@ -812,7 +880,12 @@ func (s *Server) predict(w http.ResponseWriter, r *http.Request, internal bool) 
 		return
 	}
 	w.Header().Set("X-D2T2-Key", key)
-	if s.serveCachedResponse(r.Context(), w, key, "predict_cache_hits") {
+	if h := riskHeader(req.OverflowTarget, req.Calibrate); h != "" {
+		w.Header().Set("X-D2T2-Risk", h)
+	}
+	// Bias-adjusted predictions are stateful like calibrated optimizes:
+	// never served from or persisted to the response cache.
+	if !req.Calibrate && s.serveCachedResponse(r.Context(), w, key, "predict_cache_hits") {
 		return
 	}
 	if !internal && s.cluster != nil && !s.cluster.owns(key) {
@@ -837,6 +910,10 @@ func (s *Server) predict(w http.ResponseWriter, r *http.Request, internal bool) 
 		}
 		if jobErr != nil {
 			return nil, &pipelineError{err: jobErr}
+		}
+		if req.Calibrate {
+			bias := s.session.CalibrationBias(k, false)
+			return marshalBody(predictResponse{PredictedMB: mb * bias, CalibrationBias: &bias})
 		}
 		return s.marshalAndPersist(key, predictResponse{PredictedMB: mb})
 	})
@@ -956,6 +1033,51 @@ func responseKey(endpoint string, req any) (string, []byte, error) {
 		return "", nil, err
 	}
 	return snapshot.ResponseKey(endpoint, canon), canon, nil
+}
+
+// riskHeader renders the X-D2T2-Risk header value for a request's risk
+// knobs, "" when the request is purely conservative. Derived from the
+// request, not the computation, so all cache states agree.
+func riskHeader(target float64, calibrate bool) string {
+	if target <= 0 && !calibrate {
+		return ""
+	}
+	h := fmt.Sprintf("target=%g", target)
+	if calibrate {
+		h += "; calibrate"
+	}
+	return h
+}
+
+// riskOf maps a plan's risk summary onto the wire shape (nil for
+// conservative plans, keeping their response bodies byte-identical).
+func riskOf(plan *d2t2.Plan) *riskResponse {
+	rk := plan.Risk
+	if rk == nil {
+		return nil
+	}
+	resp := &riskResponse{
+		OverflowTarget:        rk.OverflowTarget,
+		PercentileTile:        rk.PercentileTile,
+		PredictedOverflowRate: rk.PredictedOverflowRate,
+		BufferUtilization:     rk.BufferUtilization,
+	}
+	if c := rk.Calibration; c != nil {
+		resp.CalibrationResidual = &c.Residual
+		resp.CalibrationBias = &c.BiasAfter
+		resp.MeasuredOverflowRate = &c.MeasuredOverflowRate
+	}
+	return resp
+}
+
+// marshalBody marshals a response without persisting it — the stateful
+// (calibrated) variant of marshalAndPersist.
+func marshalBody(resp any) ([]byte, error) {
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
 }
 
 // serveCachedResponse replies with the cached response body for key when

@@ -49,6 +49,7 @@ const (
 	tagStats    = "STAT"
 	tagPartial  = "PART"
 	tagResponse = "RESP"
+	tagRisk     = "RISK"
 )
 
 // ErrTruncated is wrapped by decode errors caused by input ending inside
@@ -65,7 +66,29 @@ type Artifact struct {
 	Stats    *stats.Stats
 	Partial  *stats.Partial
 	Response []byte
+	// Risk annotates a response produced under risk-aware optimization
+	// (DESIGN.md §18). Nil — every conservative artifact — omits the
+	// section, so those artifacts stay byte-identical to pre-risk
+	// encoders; pre-risk readers skip the tag via the unknown-section
+	// rule.
+	Risk *RiskMeta
 }
+
+// RiskMeta is the RISK section: the risk point a cached response was
+// computed at. It carries its own payload version so risk fields can
+// evolve without a codec-wide version bump.
+type RiskMeta struct {
+	// OverflowTarget is the requested overflow probability;
+	// PredictedOverflowRate the model's estimate at the chosen config.
+	OverflowTarget        float64
+	PredictedOverflowRate float64
+	// Calibrated reports whether a measurement-backend calibration run
+	// contributed to the response.
+	Calibrated bool
+}
+
+// riskMetaVersion is the RISK payload format version.
+const riskMetaVersion = 1
 
 // EncodeBytes serializes the artifact.
 func EncodeBytes(a *Artifact) ([]byte, error) {
@@ -95,6 +118,9 @@ func EncodeBytes(a *Artifact) ([]byte, error) {
 	}
 	if a.Response != nil {
 		buf = appendSection(buf, tagResponse, a.Response)
+	}
+	if a.Risk != nil {
+		buf = appendSection(buf, tagRisk, encodeRisk(a.Risk))
 	}
 	return buf, nil
 }
@@ -163,6 +189,8 @@ func DecodeBytes(b []byte) (*Artifact, error) {
 			a.Partial, err = decodePartial(payload)
 		case tagResponse:
 			a.Response = append([]byte(nil), payload...)
+		case tagRisk:
+			a.Risk, err = decodeRisk(payload)
 		default:
 			// Forward compatibility: unknown sections are checksummed but
 			// otherwise ignored.
@@ -595,6 +623,41 @@ func decodePartial(payload []byte) (*stats.Partial, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// --- RISK ---------------------------------------------------------------
+
+func encodeRisk(m *RiskMeta) []byte {
+	b := wire.AppendU64(nil, riskMetaVersion)
+	b = wire.AppendF64(b, m.OverflowTarget)
+	b = wire.AppendF64(b, m.PredictedOverflowRate)
+	return appendOptional(b, m.Calibrated)
+}
+
+func decodeRisk(payload []byte) (*RiskMeta, error) {
+	r := wire.NewReader(payload)
+	ver := r.U64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if ver != riskMetaVersion {
+		return nil, fmt.Errorf("snapshot: RISK section version %d (this reader supports %d)", ver, riskMetaVersion)
+	}
+	m := &RiskMeta{
+		OverflowTarget:        r.F64(),
+		PredictedOverflowRate: r.F64(),
+		Calibrated:            r.U8() == 1,
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("snapshot: %d stray bytes after risk section", r.Remaining())
+	}
+	if m.OverflowTarget < 0 || m.OverflowTarget >= 1 {
+		return nil, fmt.Errorf("snapshot: RISK overflow target %v outside [0, 1)", m.OverflowTarget)
+	}
+	return m, nil
 }
 
 // --- Content addresses ---------------------------------------------------

@@ -124,6 +124,14 @@ type ShapeStats struct {
 	// power the model's exact cross-operand refinement (DESIGN.md §4).
 	GroupOuter [][]int32
 	GroupFP    []float64
+	// FPScale is the calibration factor already applied to GroupFP,
+	// SizeTile and MaxTile (1 when uncalibrated). GroupFP[i]/FPScale
+	// recovers tile i's uncalibrated member-sum — like MaxTileBound, a
+	// true upper bound on the retiled CSF footprint. The overflow
+	// methods divide the calibration back out so risk admission never
+	// under-predicts (the calibrated estimate can sit below a tile's
+	// real footprint at shapes far from the statistics frame).
+	FPScale float64
 }
 
 // PPrefix returns the probability that a subtree bound at levels 0..l is
@@ -140,6 +148,72 @@ func (sh *ShapeStats) PPrefix(l int) float64 {
 		return 0
 	}
 	return float64(sh.PrefixOccupied[l]) / dom
+}
+
+// boundScale returns the factor dividing GroupFP back to the
+// uncalibrated member-sum bound (1 when never calibrated).
+func (sh *ShapeStats) boundScale() float64 {
+	if sh.FPScale > 0 {
+		return sh.FPScale
+	}
+	return 1
+}
+
+// OverflowQuantile returns the smallest tile-footprint bound f (words)
+// such that at most an `overflow` fraction of the non-empty tiles
+// exceed f — the percentile that replaces MaxTile in the risk-aware
+// Eq. 22 seed (Tailors-style overbooking). Footprints are the
+// uncalibrated member-sum bounds (see FPScale), so a buffer sized to
+// the quantile truly holds all but the allowed fraction of tiles.
+// overflow = 0 returns the maximum (= MaxTileBound); a tensor with no
+// tiles returns 0. The computation sorts a copy of GroupFP, so it is
+// deterministic for a given shape.
+func (sh *ShapeStats) OverflowQuantile(overflow float64) float64 {
+	n := len(sh.GroupFP)
+	if n == 0 {
+		return 0
+	}
+	if overflow <= 0 {
+		m := sh.GroupFP[0]
+		for _, fp := range sh.GroupFP[1:] {
+			if fp > m {
+				m = fp
+			}
+		}
+		return m / sh.boundScale()
+	}
+	sorted := append([]float64(nil), sh.GroupFP...)
+	sort.Float64s(sorted)
+	// `allow` tiles may exceed the returned footprint.
+	allow := int(overflow * float64(n))
+	if allow >= n {
+		allow = n - 1
+	}
+	return sorted[n-1-allow] / sh.boundScale()
+}
+
+// OverflowStats returns the fraction of non-empty tiles whose footprint
+// bound exceeds the buffer budget and their summed excess words — the
+// model-side counterpart of exec's OverflowFetches accounting. Like
+// OverflowQuantile it uses the uncalibrated member-sum bounds, so the
+// rate never under-predicts the machine's per-tile overflow fraction.
+// The excess accumulates in GroupFP's canonical tile-key order, so the
+// float sum is deterministic.
+func (sh *ShapeStats) OverflowStats(budgetWords float64) (rate, excessWords float64) {
+	n := len(sh.GroupFP)
+	if n == 0 {
+		return 0, 0
+	}
+	scale := sh.boundScale()
+	scaledBudget := budgetWords * scale
+	over := 0
+	for _, fp := range sh.GroupFP {
+		if fp > scaledBudget {
+			over++
+			excessWords += fp - scaledBudget
+		}
+	}
+	return float64(over) / float64(n), excessWords / scale
 }
 
 // EvalShape aggregates the micro summary into tiles of the given
@@ -259,6 +333,7 @@ func (s *Stats) EvalShape(tileDims []int) (*ShapeStats, error) {
 	}
 
 	out.NumTiles = len(aggs)
+	out.FPScale = ms.fpScale
 	totalFP, totalNNZ := 0, 0
 	// Sort the groups by key through a permutation so the enumeration
 	// below is canonical regardless of first-appearance order.

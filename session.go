@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"d2t2/internal/model"
 	"d2t2/internal/optimizer"
 	"d2t2/internal/snapshot"
 	"d2t2/internal/stats"
@@ -65,6 +66,10 @@ type Session struct {
 	Workers int
 
 	cache StatsCache
+	// calib accumulates calibration residual biases per workload class;
+	// shared across the session so repeated Optimize calls with
+	// Options.Calibrate converge on the measurement backend.
+	calib *model.Calibration
 
 	mu    sync.Mutex
 	memo  map[string]*stats.Stats
@@ -77,10 +82,34 @@ type Session struct {
 func NewSession(cache StatsCache) *Session {
 	return &Session{
 		cache: cache,
+		calib: model.NewCalibration(),
 		memo:  make(map[string]*stats.Stats),
 		pmemo: make(map[string]*stats.Partial),
 		ids:   make(map[*Tensor]string),
 	}
+}
+
+// CalibrationRuns reports how many calibration runs the session has
+// accumulated for k's workload class (analytic selects the analytic
+// model's class). Useful for deciding whether further Calibrate passes
+// are worth their measurement cost.
+func (s *Session) CalibrationRuns(k *Kernel, analytic bool) int {
+	mode := model.ModeExact
+	if analytic {
+		mode = model.ModeAnalytic
+	}
+	return s.calib.Runs(optimizer.CalibClass(k.expr, mode))
+}
+
+// CalibrationBias returns the session's learned residual bias for k's
+// workload class — 1 when the class was never calibrated, so applying
+// it is always safe.
+func (s *Session) CalibrationBias(k *Kernel, analytic bool) float64 {
+	mode := model.ModeExact
+	if analytic {
+		mode = model.ModeAnalytic
+	}
+	return s.calib.Bias(optimizer.CalibClass(k.expr, mode))
 }
 
 // TensorID returns the tensor's content address ("sha256:..." of the
@@ -160,6 +189,11 @@ func (s *Session) OptimizeCtx(ctx context.Context, k *Kernel, inputs Inputs, opt
 	if o.Workers == 0 {
 		o.Workers = s.Workers
 	}
+	if o.Calibrate {
+		// Only calibrated optimizes see the shared residual store: plain
+		// requests stay pure functions of their inputs (cacheable).
+		o.Calibration = s.calib
+	}
 	base, err := o.ConservativeBase(k.expr)
 	if err != nil {
 		return nil, err
@@ -173,7 +207,7 @@ func (s *Session) OptimizeCtx(ctx context.Context, k *Kernel, inputs Inputs, opt
 	if err != nil {
 		return nil, err
 	}
-	return newPlan(res, k, inputs, o.Workers), nil
+	return newPlan(res, k, inputs, o.Workers, o.BufferWords), nil
 }
 
 // PrecollectCtx runs only the tile-and-collect phase OptimizeCtx would
